@@ -1,0 +1,80 @@
+// Package repro is a library-level reproduction of "Making Dynamic
+// Page Coalescing Effective on Virtualized Clouds" (EuroSys 2023): the
+// Gemini cross-layer huge page system, the seven systems it is
+// compared against, and the simulated virtualized-memory substrate
+// (buddy allocators, two-level page tables, nested-paging TLB) they
+// all run on.
+//
+// The package exposes two levels of API:
+//
+//   - experiment runners (Figure2, Motivation, CleanSlate, ReusedVM,
+//     Breakdown, Colocated) that regenerate each figure and table of
+//     the paper's evaluation;
+//   - the single-run primitives (Run, RunMicro, Systems, Workloads)
+//     for custom studies.
+//
+// Everything is deterministic for a given seed. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for measured-vs-paper results.
+package repro
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported experiment types. See package repro/internal/sim for
+// field documentation.
+type (
+	// Config describes one simulation run.
+	Config = sim.Config
+	// Result reports one simulation run.
+	Result = sim.Result
+	// System identifies a page-management system under test.
+	System = sim.System
+	// MicroConfig describes one Figure 2 micro-benchmark point.
+	MicroConfig = sim.MicroConfig
+	// MicroResult reports one Figure 2 point.
+	MicroResult = sim.MicroResult
+	// ColocatedConfig describes a two-VM consolidation run (§6.5).
+	ColocatedConfig = sim.ColocatedConfig
+	// WorkloadSpec describes one application model (Table 2).
+	WorkloadSpec = workload.Spec
+)
+
+// The evaluated systems, in the paper's figure order.
+const (
+	HostBVMB            = sim.HostBVMB
+	Misalignment        = sim.Misalignment
+	THP                 = sim.THP
+	CAPaging            = sim.CAPaging
+	Ranger              = sim.Ranger
+	HawkEye             = sim.HawkEye
+	Ingens              = sim.Ingens
+	Gemini              = sim.Gemini
+	GeminiNoBucket      = sim.GeminiNoBucket
+	GeminiBucketOnly    = sim.GeminiBucketOnly
+	GeminiStaticTimeout = sim.GeminiStaticTimeout
+	GeminiNoPrealloc    = sim.GeminiNoPrealloc
+)
+
+// Run executes one experiment configuration.
+func Run(cfg Config) Result { return sim.Run(cfg) }
+
+// RunMicro executes one Figure 2 micro-benchmark point.
+func RunMicro(mc MicroConfig) MicroResult { return sim.RunMicro(mc) }
+
+// RunColocated executes a two-VM consolidation run and returns per-VM
+// results.
+func RunColocated(cc ColocatedConfig) (Result, Result) { return sim.RunColocated(cc) }
+
+// Systems returns the paper's eight evaluated systems.
+func Systems() []System { return sim.Systems() }
+
+// SystemByName resolves a system display name ("GEMINI", "THP", ...).
+func SystemByName(name string) (System, error) { return sim.SystemByName(name) }
+
+// Workloads returns the Table 2 application models.
+func Workloads() []WorkloadSpec { return workload.Table2() }
+
+// WorkloadByName resolves a workload name ("redis", "specjbb", ...).
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }

@@ -1,0 +1,62 @@
+// Command geminisim runs one simulated experiment — a workload in a VM
+// under a chosen page-management system — and prints its metrics.
+//
+// Usage:
+//
+//	geminisim [-system GEMINI] [-workload masstree] [-fragmented]
+//	          [-reused] [-requests 4000] [-seed 1] [-all-systems]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	system := flag.String("system", "GEMINI", "system under test (Host-B-VM-B, Misalignment, THP, CA-paging, Trans-ranger, HawkEye, Ingens, GEMINI)")
+	wl := flag.String("workload", "masstree", "workload name from Table 2 (or 'micro')")
+	fragmented := flag.Bool("fragmented", false, "pre-fragment guest and host memory")
+	reused := flag.Bool("reused", false, "run in a reused VM (SVM predecessor first)")
+	requests := flag.Int("requests", 4000, "measured requests")
+	seed := flag.Int64("seed", 1, "random seed")
+	allSystems := flag.Bool("all-systems", false, "run every system and compare")
+	flag.Parse()
+
+	spec, err := repro.WorkloadByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	systems := []repro.System{}
+	if *allSystems {
+		systems = repro.Systems()
+	} else {
+		s, err := repro.SystemByName(*system)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		systems = append(systems, s)
+	}
+
+	fmt.Printf("workload=%s footprint=%dMB fragmented=%v reused=%v requests=%d seed=%d\n\n",
+		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed)
+	fmt.Printf("%-22s %10s %10s %10s %9s %8s %7s %7s\n",
+		"system", "thpt/Mcyc", "mean(cyc)", "p99(cyc)", "tlbm/kacc", "aligned", "guestH", "hostH")
+	for _, sys := range systems {
+		r := repro.Run(repro.Config{
+			System:     sys,
+			Workload:   spec,
+			Fragmented: *fragmented,
+			ReusedVM:   *reused,
+			Requests:   *requests,
+			Seed:       *seed,
+		})
+		fmt.Printf("%-22s %10.2f %10.0f %10.0f %9.1f %8.2f %7d %7d\n",
+			r.System, r.Throughput, r.MeanLatency, r.P99Latency,
+			r.TLBMissesPerKAccess, r.AlignedRate, r.GuestHuge, r.HostHuge)
+	}
+}

@@ -1,0 +1,220 @@
+// Command paperbench regenerates every table and figure of the
+// paper's evaluation as text tables: Figure 2 (micro-benchmark),
+// Figure 3 + Table 1 (motivation), Figures 8-11 + Table 3 (clean-slate
+// VM), Figures 12-15 + Table 4 (reused VM), Figure 16 (breakdown), and
+// Figures 17-18 (collocated VMs).
+//
+// Usage:
+//
+//	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated]
+//	           [-quick] [-seed 1] [-parallel N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2, motivation, cleanslate, reused, breakdown, colocated")
+	quick := flag.Bool("quick", false, "reduced scale (half footprints, fewer requests)")
+	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		fn()
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	run("fig2", func() { figure2(o) })
+	run("motivation", func() { motivation(o) })
+	run("cleanslate", func() { cleanSlate(o) })
+	run("reused", func() { reused(o) })
+	run("breakdown", func() { breakdown(o) })
+	run("colocated", func() { colocated(o) })
+	if *exp != "all" {
+		switch *exp {
+		case "fig2", "motivation", "cleanslate", "reused", "breakdown", "colocated":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+	}
+}
+
+func figure2(o repro.Options) {
+	fmt.Println("=== Figure 2: micro-benchmark, random access across data-set sizes ===")
+	fmt.Println("(throughput in accesses per million cycles; higher is better)")
+	rows := repro.Figure2(o)
+	byDS := map[int]map[string]repro.MicroResult{}
+	var sizes []int
+	for _, r := range rows {
+		if byDS[r.DatasetMB] == nil {
+			byDS[r.DatasetMB] = map[string]repro.MicroResult{}
+			sizes = append(sizes, r.DatasetMB)
+		}
+		byDS[r.DatasetMB][r.Label] = r
+	}
+	labels := []string{"Host-B-VM-B", "Host-B-VM-H", "Host-H-VM-B", "Host-H-VM-H"}
+	fmt.Printf("%-10s", "dataset")
+	for _, l := range labels {
+		fmt.Printf("%14s", l)
+	}
+	fmt.Println()
+	for _, ds := range sizes {
+		fmt.Printf("%-10s", fmt.Sprintf("%dMB", ds))
+		for _, l := range labels {
+			fmt.Printf("%14.1f", byDS[ds][l].Throughput)
+		}
+		fmt.Println()
+	}
+}
+
+func motivation(o repro.Options) {
+	rows := repro.Motivation(o)
+	fmt.Println("=== Figure 3: motivation workloads, throughput normalized to Host-B-VM-B (fragmented) ===")
+	printNormalized(rows)
+	fmt.Println("=== Table 1: rates of well-aligned huge pages ===")
+	fmt.Print(repro.FormatTable("", rows,
+		func(r repro.Result) float64 { return r.AlignedRate * 100 }, "%.0f%%"))
+	fmt.Println()
+}
+
+func cleanSlate(o repro.Options) {
+	all := repro.CleanSlate(o)
+	for _, frag := range []bool{true, false} {
+		var rows []repro.Result
+		for _, r := range all {
+			if r.Fragmented == frag {
+				rows = append(rows, r.Result)
+			}
+		}
+		state := "fragmented"
+		if !frag {
+			state = "unfragmented"
+		}
+		fmt.Printf("=== Figure 8 (%s): clean-slate throughput normalized to Host-B-VM-B ===\n", state)
+		printNormalized(rows)
+		if frag {
+			fmt.Println("=== Figure 9/10: clean-slate mean and p99 latency (cycles; latency-reporting workloads) ===")
+			fmt.Print(repro.FormatTable("mean latency", onlyLatency(rows),
+				func(r repro.Result) float64 { return r.MeanLatency }, "%.0f"))
+			fmt.Print(repro.FormatTable("p99 latency", onlyLatency(rows),
+				func(r repro.Result) float64 { return r.P99Latency }, "%.0f"))
+			fmt.Println("=== Figure 11: clean-slate TLB misses normalized to GEMINI ===")
+			printTLBNormalized(rows)
+			fmt.Println("=== Table 3: rates of well-aligned huge pages (fragmented) ===")
+			fmt.Print(repro.FormatTable("", rows,
+				func(r repro.Result) float64 { return r.AlignedRate * 100 }, "%.0f%%"))
+		}
+		fmt.Println()
+	}
+}
+
+func reused(o repro.Options) {
+	rows := repro.ReusedVM(o)
+	fmt.Println("=== Figure 12: reused-VM throughput normalized to Host-B-VM-B ===")
+	printNormalized(rows)
+	fmt.Println("=== Figure 13/14: reused-VM mean and p99 latency (cycles) ===")
+	fmt.Print(repro.FormatTable("mean latency", onlyLatency(rows),
+		func(r repro.Result) float64 { return r.MeanLatency }, "%.0f"))
+	fmt.Print(repro.FormatTable("p99 latency", onlyLatency(rows),
+		func(r repro.Result) float64 { return r.P99Latency }, "%.0f"))
+	fmt.Println("=== Figure 15: reused-VM TLB misses normalized to GEMINI ===")
+	printTLBNormalized(rows)
+	fmt.Println("=== Table 4: rates of well-aligned huge pages (reused VM) ===")
+	fmt.Print(repro.FormatTable("", rows,
+		func(r repro.Result) float64 { return r.AlignedRate * 100 }, "%.0f%%"))
+	fmt.Println()
+}
+
+func breakdown(o repro.Options) {
+	rows := repro.Breakdown(o)
+	fmt.Println("=== Figure 16: GEMINI breakdown (throughput, reused VM, fragmented) ===")
+	fmt.Print(repro.FormatTable("absolute throughput per Mcycle", rows,
+		func(r repro.Result) float64 { return r.Throughput }, "%.1f"))
+	fmt.Println()
+}
+
+func colocated(o repro.Options) {
+	byPair := repro.Colocated(o)
+	fmt.Println("=== Figures 17/18: collocated VMs (per-VM throughput per Mcycle) ===")
+	for pair, rows := range byPair {
+		fmt.Printf("--- pair %s ---\n", pair)
+		fmt.Printf("%-22s %12s %12s %12s %12s\n", "system", "thptA", "thptB", "meanA", "meanB")
+		for _, cr := range rows {
+			fmt.Printf("%-22s %12.2f %12.2f %12.0f %12.0f\n",
+				cr.A.System, cr.A.Throughput, cr.B.Throughput, cr.A.MeanLatency, cr.B.MeanLatency)
+		}
+	}
+	fmt.Println()
+}
+
+// printNormalized prints throughput normalized to Host-B-VM-B plus a
+// geometric-mean row.
+func printNormalized(rows []repro.Result) {
+	norm := repro.NormalizeThroughput(rows, "Host-B-VM-B")
+	var flat []repro.Result
+	for _, r := range rows {
+		r2 := r
+		r2.Throughput = norm[r.Workload][r.System]
+		flat = append(flat, r2)
+	}
+	fmt.Print(repro.FormatTable("", flat,
+		func(r repro.Result) float64 { return r.Throughput }, "%.2fx"))
+	// Geomean per system.
+	bySys := map[string][]float64{}
+	var order []string
+	for _, r := range flat {
+		if _, ok := bySys[r.System]; !ok {
+			order = append(order, r.System)
+		}
+		bySys[r.System] = append(bySys[r.System], r.Throughput)
+	}
+	fmt.Printf("%-14s", "geomean")
+	for _, s := range order {
+		fmt.Printf("%14s", fmt.Sprintf("%.2fx", repro.GeometricMean(bySys[s])))
+	}
+	fmt.Println()
+}
+
+// printTLBNormalized prints TLB misses normalized to GEMINI.
+func printTLBNormalized(rows []repro.Result) {
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.System == "GEMINI" {
+			base[r.Workload] = r.TLBMissesPerKAccess
+		}
+	}
+	var flat []repro.Result
+	for _, r := range rows {
+		r2 := r
+		if b := base[r.Workload]; b > 0 {
+			r2.TLBMissesPerKAccess = r.TLBMissesPerKAccess / b
+		}
+		flat = append(flat, r2)
+	}
+	fmt.Print(repro.FormatTable("", flat,
+		func(r repro.Result) float64 { return r.TLBMissesPerKAccess }, "%.2fx"))
+}
+
+// onlyLatency filters to latency-reporting rows.
+func onlyLatency(rows []repro.Result) []repro.Result {
+	var out []repro.Result
+	for _, r := range rows {
+		if r.MeanLatency > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

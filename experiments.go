@@ -1,0 +1,369 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment scale. The zero value reproduces the full
+// evaluation; Quick shrinks footprints and request counts for smoke
+// runs and benchmarks.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Requests overrides the per-run measured request count.
+	Requests int
+	// Workloads filters by name; nil selects the paper's set.
+	Workloads []string
+	// Quick runs a reduced-scale version (half footprints, fewer
+	// requests): same shapes, minutes faster.
+	Quick bool
+	// Parallel bounds concurrent runs (default: GOMAXPROCS).
+	Parallel int
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) requests() int {
+	if o.Requests != 0 {
+		return o.Requests
+	}
+	if o.Quick {
+		return 1500
+	}
+	return 4000
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// specs resolves the workload selection, applying Quick scaling.
+func (o Options) specs(defaults []workload.Spec) []workload.Spec {
+	sel := defaults
+	if len(o.Workloads) > 0 {
+		sel = nil
+		for _, name := range o.Workloads {
+			s, err := workload.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			sel = append(sel, s)
+		}
+	}
+	if o.Quick {
+		scaled := make([]workload.Spec, len(sel))
+		for i, s := range sel {
+			if s.FootprintMB > 32 {
+				s.FootprintMB /= 2
+			}
+			scaled[i] = s
+		}
+		return scaled
+	}
+	return sel
+}
+
+// tlbSensitiveSpecs returns Table 2 minus the non-TLB-sensitive pair,
+// i.e. the 16 workloads of the clean-slate and reused-VM figures.
+func tlbSensitiveSpecs() []workload.Spec {
+	var out []workload.Spec
+	for _, s := range workload.Table2() {
+		if s.TLBSensitive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// forEach runs fn over [0,n) with bounded parallelism.
+func forEach(n, parallel int, fn func(i int)) {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Figure2 regenerates the motivation micro-benchmark: random access
+// throughput across data-set sizes for the four page-size
+// configurations.
+func Figure2(o Options) []MicroResult {
+	sizes := []int{4, 8, 16, 32, 64, 128, 256}
+	if o.Quick {
+		sizes = []int{4, 32, 128}
+	}
+	configs := []struct{ g, h bool }{
+		{false, false}, // Host-B-VM-B
+		{true, false},  // Host-B-VM-H (guest huge, host base)
+		{false, true},  // Host-H-VM-B
+		{true, true},   // Host-H-VM-H
+	}
+	out := make([]MicroResult, len(sizes)*len(configs))
+	forEach(len(out), o.parallel(), func(i int) {
+		size := sizes[i/len(configs)]
+		c := configs[i%len(configs)]
+		out[i] = sim.RunMicro(sim.MicroConfig{
+			GuestHuge: c.g, HostHuge: c.h, DatasetMB: size, Seed: o.seed(),
+		})
+	})
+	return out
+}
+
+// motivationSpecs are the four workloads of Figure 3 / Table 1.
+func motivationSpecs() []workload.Spec {
+	return []workload.Spec{
+		workload.Canneal(), workload.Streamcluster(),
+		workload.ImgDNN(), workload.Specjbb(),
+	}
+}
+
+// Motivation regenerates Figure 3 and Table 1: the four motivation
+// workloads across all eight systems under fragmentation.
+func Motivation(o Options) []Result {
+	return sweep(o, o.specs(motivationSpecs()), Systems(), func(c *Config) {
+		c.Fragmented = true
+	})
+}
+
+// CleanSlateRow couples a clean-slate result with its memory state.
+type CleanSlateRow struct {
+	Fragmented bool
+	Result
+}
+
+// CleanSlate regenerates Figures 8-11 and Table 3: every TLB-sensitive
+// workload across all eight systems, with and without fragmentation,
+// in a fresh VM.
+func CleanSlate(o Options) []CleanSlateRow {
+	specs := o.specs(tlbSensitiveSpecs())
+	systems := Systems()
+	type job struct {
+		spec workload.Spec
+		sys  System
+		frag bool
+	}
+	var jobs []job
+	for _, frag := range []bool{true, false} {
+		for _, s := range specs {
+			for _, sys := range systems {
+				jobs = append(jobs, job{s, sys, frag})
+			}
+		}
+	}
+	out := make([]CleanSlateRow, len(jobs))
+	forEach(len(jobs), o.parallel(), func(i int) {
+		j := jobs[i]
+		cfg := Config{
+			System: j.sys, Workload: j.spec, Fragmented: j.frag,
+			Requests: o.requests(), Seed: o.seed(),
+		}
+		out[i] = CleanSlateRow{Fragmented: j.frag, Result: sim.Run(cfg)}
+	})
+	return out
+}
+
+// ReusedVM regenerates Figures 12-15 and Table 4: every TLB-sensitive
+// workload across all eight systems in a VM that previously ran the
+// SVM trainer, fragmented.
+func ReusedVM(o Options) []Result {
+	return sweep(o, o.specs(tlbSensitiveSpecs()), Systems(), func(c *Config) {
+		c.Fragmented = true
+		c.ReusedVM = true
+	})
+}
+
+// Breakdown regenerates Figure 16: Gemini against its EMA/HB-only and
+// bucket-only halves, in the reused-VM fragmented setting where both
+// mechanisms contribute.
+func Breakdown(o Options) []Result {
+	systems := []System{Gemini, GeminiNoBucket, GeminiBucketOnly}
+	return sweep(o, o.specs(tlbSensitiveSpecs()), systems, func(c *Config) {
+		c.Fragmented = true
+		c.ReusedVM = true
+	})
+}
+
+// sweep runs every (workload, system) pair with the given config
+// mutation applied.
+func sweep(o Options, specs []workload.Spec, systems []System, mut func(*Config)) []Result {
+	type job struct {
+		spec workload.Spec
+		sys  System
+	}
+	var jobs []job
+	for _, s := range specs {
+		for _, sys := range systems {
+			jobs = append(jobs, job{s, sys})
+		}
+	}
+	out := make([]Result, len(jobs))
+	forEach(len(jobs), o.parallel(), func(i int) {
+		cfg := Config{
+			System: jobs[i].sys, Workload: jobs[i].spec,
+			Requests: o.requests(), Seed: o.seed(),
+		}
+		mut(&cfg)
+		out[i] = sim.Run(cfg)
+	})
+	return out
+}
+
+// ColocatedRow holds one consolidation pair's per-VM results.
+type ColocatedRow struct {
+	A, B Result
+}
+
+// Colocated regenerates Figures 17 and 18: pairs of VMs consolidated
+// on one host, including the non-TLB-sensitive pair (Shore, SP.D)
+// that bounds Gemini's overhead.
+func Colocated(o Options) map[string][]ColocatedRow {
+	pairs := []struct{ a, b workload.Spec }{
+		{workload.Masstree(), workload.SPD()},
+		{workload.Specjbb(), workload.Shore()},
+		{workload.Canneal(), workload.Shore()},
+		{workload.Redis(), workload.Memcached()},
+	}
+	if o.Quick {
+		pairs = pairs[:2]
+	}
+	systems := Systems()
+	type job struct {
+		pair int
+		sys  System
+	}
+	var jobs []job
+	for p := range pairs {
+		for _, sys := range systems {
+			jobs = append(jobs, job{p, sys})
+		}
+	}
+	results := make([]ColocatedRow, len(jobs))
+	forEach(len(jobs), o.parallel(), func(i int) {
+		j := jobs[i]
+		a, b := pairs[j.pair].a, pairs[j.pair].b
+		if o.Quick {
+			a.FootprintMB /= 2
+			b.FootprintMB /= 2
+		}
+		ra, rb := sim.RunColocated(sim.ColocatedConfig{
+			System: j.sys, WorkloadA: a, WorkloadB: b,
+			Fragmented: true,
+			Requests:   o.requests(), Seed: o.seed(),
+		})
+		results[i] = ColocatedRow{A: ra, B: rb}
+	})
+	out := make(map[string][]ColocatedRow)
+	for i, j := range jobs {
+		key := pairs[j.pair].a.Name + "+" + pairs[j.pair].b.Name
+		out[key] = append(out[key], results[i])
+	}
+	return out
+}
+
+// --- formatting helpers ---
+
+// NormalizeThroughput returns per-workload throughputs normalized to
+// the named baseline system.
+func NormalizeThroughput(rows []Result, baseline string) map[string]map[string]float64 {
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.System == baseline {
+			base[r.Workload] = r.Throughput
+		}
+	}
+	out := map[string]map[string]float64{}
+	for _, r := range rows {
+		if out[r.Workload] == nil {
+			out[r.Workload] = map[string]float64{}
+		}
+		if b := base[r.Workload]; b > 0 {
+			out[r.Workload][r.System] = r.Throughput / b
+		}
+	}
+	return out
+}
+
+// FormatTable renders rows as a fixed-width text table: one line per
+// workload, one column per system, using the value extracted by get.
+func FormatTable(title string, rows []Result, get func(Result) float64, format string) string {
+	systems := []string{}
+	seen := map[string]bool{}
+	byWL := map[string]map[string]float64{}
+	var wls []string
+	for _, r := range rows {
+		if !seen[r.System] {
+			seen[r.System] = true
+			systems = append(systems, r.System)
+		}
+		if byWL[r.Workload] == nil {
+			byWL[r.Workload] = map[string]float64{}
+			wls = append(wls, r.Workload)
+		}
+		byWL[r.Workload][r.System] = get(r)
+	}
+	sort.Strings(wls)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s", "workload")
+	for _, s := range systems {
+		fmt.Fprintf(&b, "%14s", s)
+	}
+	b.WriteByte('\n')
+	for _, w := range wls {
+		fmt.Fprintf(&b, "%-14s", w)
+		for _, s := range systems {
+			fmt.Fprintf(&b, "%14s", fmt.Sprintf(format, byWL[w][s]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeometricMean returns the geometric mean of vs (0 when empty or any
+// value is non-positive).
+func GeometricMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

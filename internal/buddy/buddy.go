@@ -1,0 +1,574 @@
+// Package buddy implements a binary buddy allocator modelled on the
+// Linux page allocator, the component Gemini's prototype modifies most
+// heavily (~1700 LoC in page_alloc.c per §5 of the paper).
+//
+// Free memory is grouped into order-x blocks of 2^x naturally aligned
+// base frames, for orders 0 through MaxOrder (4 KiB through 4 MiB).
+// Beyond the classic Alloc/Free interface the allocator supports the
+// operations Gemini needs:
+//
+//   - AllocAt: targeted allocation of a specific block, used by the
+//     enhanced memory allocator (EMA) to place base pages at the frame
+//     computed from a VMA's offset descriptor.
+//   - Reservations: huge-page-sized regions temporarily withdrawn from
+//     general allocation (the huge booking component), from which only
+//     page-at-a-time targeted allocations or a whole-huge-page
+//     consumption are allowed until release.
+//   - FMFI: the free memory fragmentation index used by Ingens, HawkEye
+//     and Gemini's Algorithm 1 to measure fragmentation.
+//
+// Allocation is deterministic: untargeted allocations always return the
+// lowest-addressed free block of the requested order, which both keeps
+// runs reproducible and mimics the anti-fragmentation benefit of
+// packing small allocations low (§5, "Gemini contiguity list").
+package buddy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MaxOrder is the largest block order. Order 10 blocks span 1024 base
+// frames (4 MiB), matching the paper's description of the Linux buddy
+// allocator ("existing buddy allocator can only allocate up to 4MB").
+const MaxOrder = 10
+
+// NumOrders is the number of distinct block orders (0..MaxOrder).
+const NumOrders = MaxOrder + 1
+
+// Errors returned by the allocator.
+var (
+	ErrNoMemory    = errors.New("buddy: out of memory at requested order")
+	ErrNotFree     = errors.New("buddy: target block is not free")
+	ErrReserved    = errors.New("buddy: target block is reserved")
+	ErrBadArgument = errors.New("buddy: invalid argument")
+	ErrNotReserved = errors.New("buddy: region is not reserved")
+)
+
+// minHeap is a lazy min-heap of block start frames. Entries may be
+// stale (no longer free at this order); Allocator pops until it finds
+// a live one.
+type minHeap []uint64
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Reservation tracks a huge-page-sized region booked by Gemini's huge
+// booking component. Pages within are handed out individually through
+// AllocReservedPage; unclaimed pages return to the free lists when the
+// reservation is released.
+type Reservation struct {
+	// HugeIndex identifies the 2 MiB region (frame / 512).
+	HugeIndex uint64
+	// allocated marks which of the 512 pages have been handed out.
+	allocated [mem.PagesPerHuge]bool
+	// nAllocated counts handed-out pages.
+	nAllocated int
+	// Deadline is the tick at which the booking times out; maintained
+	// by the booking component, stored here for introspection.
+	Deadline uint64
+}
+
+// Start returns the first frame of the reserved region.
+func (r *Reservation) Start() uint64 { return r.HugeIndex * mem.PagesPerHuge }
+
+// Allocated returns how many pages of the reservation have been claimed.
+func (r *Reservation) Allocated() int { return r.nAllocated }
+
+// Allocator is a binary buddy allocator over a contiguous range of
+// frames [0, TotalPages).
+type Allocator struct {
+	totalPages uint64
+	freePages  uint64
+
+	// free maps block start frame -> order, for free blocks only.
+	free map[uint64]uint8
+	// heaps[o] holds candidate starts of free order-o blocks
+	// (lazily invalidated).
+	heaps [NumOrders]minHeap
+	// counts[o] is the number of live free blocks at order o.
+	counts [NumOrders]uint64
+
+	// reservations maps huge index -> active reservation.
+	reservations map[uint64]*Reservation
+
+	// epoch increments on every free-list mutation; FreeRegions
+	// results are cached against it.
+	epoch         uint64
+	regionsEpoch  uint64
+	regionsCache  []mem.Region
+	regionScratch []int8
+}
+
+// New creates an allocator managing totalPages base frames, all free.
+func New(totalPages uint64) *Allocator {
+	a := &Allocator{
+		totalPages:   totalPages,
+		free:         make(map[uint64]uint8),
+		reservations: make(map[uint64]*Reservation),
+	}
+	// Seed free lists with the largest aligned blocks that fit.
+	frame := uint64(0)
+	for frame < totalPages {
+		o := MaxOrder
+		for o > 0 {
+			size := uint64(1) << o
+			if frame%size == 0 && frame+size <= totalPages {
+				break
+			}
+			o--
+		}
+		a.insertFree(frame, uint8(o))
+		frame += uint64(1) << o
+	}
+	a.freePages = totalPages
+	return a
+}
+
+// TotalPages returns the number of frames managed by the allocator.
+func (a *Allocator) TotalPages() uint64 { return a.totalPages }
+
+// FreePages returns the number of currently free frames (excluding
+// reserved but unclaimed pages, which are counted as unavailable).
+func (a *Allocator) FreePages() uint64 { return a.freePages }
+
+// FreeBlockCount returns the number of free blocks at the given order.
+func (a *Allocator) FreeBlockCount(order int) uint64 {
+	if order < 0 || order > MaxOrder {
+		return 0
+	}
+	return a.counts[order]
+}
+
+// insertFree adds a free block and registers it in the heap.
+func (a *Allocator) insertFree(start uint64, order uint8) {
+	a.free[start] = order
+	a.counts[order]++
+	a.epoch++
+	heap.Push(&a.heaps[order], start)
+}
+
+// removeFree deletes a known-free block from the books. The heap entry
+// is left to lazy invalidation.
+func (a *Allocator) removeFree(start uint64, order uint8) {
+	delete(a.free, start)
+	a.counts[order]--
+	a.epoch++
+}
+
+// popLowest returns the lowest-addressed live free block of the order,
+// or false if none exists.
+func (a *Allocator) popLowest(order int) (uint64, bool) {
+	h := &a.heaps[order]
+	for h.Len() > 0 {
+		start := (*h)[0]
+		if o, ok := a.free[start]; ok && o == uint8(order) {
+			heap.Pop(h)
+			return start, true
+		}
+		heap.Pop(h) // stale
+	}
+	return 0, false
+}
+
+// Alloc allocates a block of 2^order frames and returns its first
+// frame. It splits larger blocks as needed, always choosing the
+// lowest-addressed candidate.
+func (a *Allocator) Alloc(order int) (uint64, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("%w: order %d", ErrBadArgument, order)
+	}
+	for o := order; o <= MaxOrder; o++ {
+		start, ok := a.popLowest(o)
+		if !ok {
+			continue
+		}
+		a.removeFree(start, uint8(o))
+		// Split down to the requested order, freeing upper halves.
+		for cur := o; cur > order; cur-- {
+			half := uint64(1) << (cur - 1)
+			a.insertFree(start+half, uint8(cur-1))
+		}
+		a.freePages -= uint64(1) << order
+		return start, nil
+	}
+	return 0, ErrNoMemory
+}
+
+// findContaining locates the free block that contains the range
+// [frame, frame+2^order). Returns the block start and order, or false.
+func (a *Allocator) findContaining(frame uint64, order int) (uint64, uint8, bool) {
+	for o := order; o <= MaxOrder; o++ {
+		start := frame &^ ((uint64(1) << o) - 1)
+		if fo, ok := a.free[start]; ok && fo == uint8(o) {
+			return start, fo, true
+		}
+	}
+	return 0, 0, false
+}
+
+// AllocAt allocates the specific block [frame, frame+2^order). The
+// frame must be naturally aligned to the order and the whole block must
+// be free (possibly inside a larger free block, which is split).
+func (a *Allocator) AllocAt(frame uint64, order int) error {
+	if order < 0 || order > MaxOrder {
+		return fmt.Errorf("%w: order %d", ErrBadArgument, order)
+	}
+	size := uint64(1) << order
+	if frame%size != 0 {
+		return fmt.Errorf("%w: frame %#x not aligned to order %d", ErrBadArgument, frame, order)
+	}
+	if frame+size > a.totalPages {
+		return fmt.Errorf("%w: frame %#x beyond end", ErrBadArgument, frame)
+	}
+	if a.isReservedRange(frame, size) {
+		return ErrReserved
+	}
+	start, fo, ok := a.findContaining(frame, order)
+	if !ok {
+		return ErrNotFree
+	}
+	a.removeFree(start, fo)
+	// Split the containing block down, keeping the half containing
+	// the target and freeing the other half, until the block is the
+	// target itself.
+	for cur := int(fo); cur > order; cur-- {
+		half := uint64(1) << (cur - 1)
+		if frame < start+half {
+			a.insertFree(start+half, uint8(cur-1))
+		} else {
+			a.insertFree(start, uint8(cur-1))
+			start += half
+		}
+	}
+	a.freePages -= size
+	return nil
+}
+
+// IsFree reports whether the whole block [frame, frame+2^order) is
+// currently free (and unreserved).
+func (a *Allocator) IsFree(frame uint64, order int) bool {
+	if order < 0 || order > MaxOrder {
+		return false
+	}
+	size := uint64(1) << order
+	if frame%size != 0 || frame+size > a.totalPages {
+		return false
+	}
+	if a.isReservedRange(frame, size) {
+		return false
+	}
+	_, _, ok := a.findContaining(frame, order)
+	return ok
+}
+
+// Free returns the block [frame, frame+2^order) to the allocator,
+// merging with free buddies as far as possible.
+func (a *Allocator) Free(frame uint64, order int) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("buddy: Free with bad order %d", order))
+	}
+	size := uint64(1) << order
+	if frame%size != 0 || frame+size > a.totalPages {
+		panic(fmt.Sprintf("buddy: Free(%#x, %d) out of range or misaligned", frame, order))
+	}
+	// A page claimed from a still-active reservation returns to that
+	// reservation, not to the free lists: the region stays withdrawn
+	// from general allocation until the booking ends.
+	if order == 0 {
+		if r, ok := a.reservations[frame/mem.PagesPerHuge]; ok {
+			idx := frame - r.Start()
+			if !r.allocated[idx] {
+				panic(fmt.Sprintf("buddy: double free of reserved page %#x", frame))
+			}
+			r.allocated[idx] = false
+			r.nAllocated--
+			return
+		}
+	}
+	if _, ok := a.free[frame]; ok {
+		panic(fmt.Sprintf("buddy: double free of block %#x", frame))
+	}
+	a.freePages += size
+	o := uint8(order)
+	start := frame
+	for int(o) < MaxOrder {
+		buddyStart := start ^ (uint64(1) << o)
+		bo, ok := a.free[buddyStart]
+		if !ok || bo != o || buddyStart+(uint64(1)<<o) > a.totalPages {
+			break
+		}
+		// Merge with buddy.
+		a.removeFree(buddyStart, bo)
+		if buddyStart < start {
+			start = buddyStart
+		}
+		o++
+	}
+	a.insertFree(start, o)
+}
+
+// --- Reservations (huge booking) ---
+
+// isReservedRange reports whether any frame in [frame, frame+size)
+// belongs to an active reservation.
+func (a *Allocator) isReservedRange(frame, size uint64) bool {
+	first := frame / mem.PagesPerHuge
+	last := (frame + size - 1) / mem.PagesPerHuge
+	for hi := first; hi <= last; hi++ {
+		if _, ok := a.reservations[hi]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Reserve withdraws the 2 MiB region with the given huge index from
+// general allocation. The whole region must currently be free. The
+// returned Reservation hands out pages via AllocReservedPage or is
+// consumed whole via ConsumeReservationHuge.
+func (a *Allocator) Reserve(hugeIndex uint64) (*Reservation, error) {
+	start := hugeIndex * mem.PagesPerHuge
+	if start+mem.PagesPerHuge > a.totalPages {
+		return nil, fmt.Errorf("%w: huge index %d beyond end", ErrBadArgument, hugeIndex)
+	}
+	if _, ok := a.reservations[hugeIndex]; ok {
+		return nil, fmt.Errorf("%w: huge index %d already reserved", ErrBadArgument, hugeIndex)
+	}
+	if err := a.AllocAt(start, mem.HugeOrder); err != nil {
+		return nil, err
+	}
+	r := &Reservation{HugeIndex: hugeIndex}
+	a.reservations[hugeIndex] = r
+	return r, nil
+}
+
+// ReservationAt returns the active reservation covering the huge index,
+// if any.
+func (a *Allocator) ReservationAt(hugeIndex uint64) (*Reservation, bool) {
+	r, ok := a.reservations[hugeIndex]
+	return r, ok
+}
+
+// ReservationCount returns the number of active reservations.
+func (a *Allocator) ReservationCount() int { return len(a.reservations) }
+
+// AllocReservedPage claims one base page inside a reservation. The
+// frame must lie inside the reserved region and be unclaimed.
+func (a *Allocator) AllocReservedPage(hugeIndex, frame uint64) error {
+	r, ok := a.reservations[hugeIndex]
+	if !ok {
+		return ErrNotReserved
+	}
+	idx := int64(frame) - int64(r.Start())
+	if idx < 0 || idx >= mem.PagesPerHuge {
+		return fmt.Errorf("%w: frame %#x outside reservation %d", ErrBadArgument, frame, hugeIndex)
+	}
+	if r.allocated[idx] {
+		return ErrNotFree
+	}
+	r.allocated[idx] = true
+	r.nAllocated++
+	return nil
+}
+
+// ConsumeReservationHuge converts the whole reservation into a regular
+// huge-page allocation: all 512 pages become allocated and the
+// reservation is dissolved. Fails if any page was already individually
+// claimed (the caller should then finish claiming pages instead).
+func (a *Allocator) ConsumeReservationHuge(hugeIndex uint64) error {
+	r, ok := a.reservations[hugeIndex]
+	if !ok {
+		return ErrNotReserved
+	}
+	if r.nAllocated != 0 {
+		return fmt.Errorf("%w: reservation %d partially claimed", ErrBadArgument, hugeIndex)
+	}
+	delete(a.reservations, hugeIndex)
+	return nil
+}
+
+// FinishReservation dissolves a reservation whose pages were claimed
+// individually: claimed pages stay allocated, unclaimed pages return to
+// the free lists. Returns the number of pages that were claimed.
+func (a *Allocator) FinishReservation(hugeIndex uint64) (int, error) {
+	r, ok := a.reservations[hugeIndex]
+	if !ok {
+		return 0, ErrNotReserved
+	}
+	delete(a.reservations, hugeIndex)
+	// Free unclaimed pages, coalescing runs to limit churn.
+	start := r.Start()
+	i := 0
+	for i < mem.PagesPerHuge {
+		if r.allocated[i] {
+			i++
+			continue
+		}
+		a.Free(start+uint64(i), 0)
+		i++
+	}
+	return r.nAllocated, nil
+}
+
+// --- Fragmentation metrics ---
+
+// FMFI returns the free memory fragmentation index at the given order:
+// the fraction of free memory that is unusable for an allocation of
+// that order. 0 means all free memory sits in blocks >= order;
+// values approaching 1 mean free memory is shattered. Returns 1 when
+// no memory is free.
+func (a *Allocator) FMFI(order int) float64 {
+	if a.freePages == 0 {
+		return 1
+	}
+	var usable uint64
+	for o := order; o <= MaxOrder; o++ {
+		usable += a.counts[o] << uint(o)
+	}
+	return 1 - float64(usable)/float64(a.freePages)
+}
+
+// LargestFreeOrder returns the highest order with at least one free
+// block, or -1 when nothing is free.
+func (a *Allocator) LargestFreeOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if a.counts[o] > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// FreeHugeCandidates returns how many distinct, free, huge-aligned
+// 2 MiB regions exist right now (free blocks of order >= HugeOrder,
+// counted in huge-page units).
+func (a *Allocator) FreeHugeCandidates() uint64 {
+	var n uint64
+	for o := mem.HugeOrder; o <= MaxOrder; o++ {
+		n += a.counts[o] << uint(o-mem.HugeOrder)
+	}
+	return n
+}
+
+// FreeRegions returns the maximal runs of free frames in address order,
+// merging adjacent free blocks. Reserved regions are not included.
+// The result feeds the Gemini contiguity list.
+//
+// The returned slice is a cache owned by the allocator, valid until
+// the next allocation or free; callers must not retain or mutate it.
+// Construction is a single O(TotalPages/blockSize) sweep over an order
+// map, avoiding any sort even with hundreds of thousands of free
+// blocks (heavily fragmented memory).
+func (a *Allocator) FreeRegions() []mem.Region {
+	if a.regionsEpoch == a.epoch && a.regionsCache != nil {
+		return a.regionsCache
+	}
+	if a.regionScratch == nil {
+		a.regionScratch = make([]int8, a.totalPages)
+	}
+	for i := range a.regionScratch {
+		a.regionScratch[i] = -1
+	}
+	for s, o := range a.free {
+		a.regionScratch[s] = int8(o)
+	}
+	regions := a.regionsCache[:0]
+	var i uint64
+	for i < a.totalPages {
+		o := a.regionScratch[i]
+		if o < 0 {
+			i++
+			continue
+		}
+		size := uint64(1) << o
+		if n := len(regions); n > 0 && regions[n-1].End() == i {
+			regions[n-1].Pages += size
+		} else {
+			regions = append(regions, mem.Region{Start: i, Pages: size})
+		}
+		i += size
+	}
+	a.regionsCache = regions
+	a.regionsEpoch = a.epoch
+	if len(regions) == 0 {
+		return nil
+	}
+	return regions
+}
+
+// sortUint64 sorts in place (small wrapper to keep imports minimal).
+func sortUint64(s []uint64) {
+	// Shell sort: adequate for cold-path sizes, zero allocations.
+	for gap := len(s) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(s); i++ {
+			v := s[i]
+			j := i
+			for j >= gap && s[j-gap] > v {
+				s[j] = s[j-gap]
+				j -= gap
+			}
+			s[j] = v
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency; used by tests. It
+// verifies that free blocks are aligned, disjoint, within bounds, that
+// counts match, and that freePages equals the sum of free block sizes.
+func (a *Allocator) CheckInvariants() error {
+	var sum uint64
+	var counts [NumOrders]uint64
+	type span struct{ start, end uint64 }
+	spans := make([]span, 0, len(a.free))
+	for start, o := range a.free {
+		size := uint64(1) << o
+		if start%size != 0 {
+			return fmt.Errorf("block %#x order %d misaligned", start, o)
+		}
+		if start+size > a.totalPages {
+			return fmt.Errorf("block %#x order %d out of range", start, o)
+		}
+		sum += size
+		counts[o]++
+		spans = append(spans, span{start, start + size})
+	}
+	if sum != a.freePages {
+		return fmt.Errorf("freePages %d != sum of blocks %d", a.freePages, sum)
+	}
+	for o := range counts {
+		if counts[o] != a.counts[o] {
+			return fmt.Errorf("order %d count %d != tracked %d", o, counts[o], a.counts[o])
+		}
+	}
+	// Overlap check.
+	ss := make([]uint64, len(spans))
+	for i, sp := range spans {
+		ss[i] = sp.start
+	}
+	sortUint64(ss)
+	starts := map[uint64]uint64{}
+	for _, sp := range spans {
+		starts[sp.start] = sp.end
+	}
+	var prevEnd uint64
+	for _, s := range ss {
+		if s < prevEnd {
+			return fmt.Errorf("overlapping free blocks at %#x", s)
+		}
+		prevEnd = starts[s]
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+// TimeoutCtl implements Algorithm 1 from the paper (Booking Timeout
+// Adjustment). It maintains a desired timeout T_d and an effective
+// timeout T_e, and probes T_d*1.1 and T_d*0.9 in alternating
+// measurement windows of P ticks, accepting a probe when TLB misses
+// decreased and memory fragmentation did not increase over the window.
+//
+// The controller is driven by Step, called once per tick with the
+// tick's TLB-miss delta and the current fragmentation index (the
+// paper uses the perf TLB-miss counter and FMFI).
+type TimeoutCtl struct {
+	// Td is the desired timeout value (ticks).
+	Td float64
+	// Te is the effective timeout applied to new bookings.
+	Te float64
+	// P is the window length in ticks.
+	P int
+	// Frozen disables adjustment (ablation); Te stays at the initial
+	// value.
+	Frozen bool
+
+	state       ctlState
+	ticksInWin  int
+	winMisses   uint64
+	winFragSum  float64
+	baseMisses  uint64  // misses over the last accepted baseline window
+	baseFrag    float64 // mean FMFI over that window
+	havebase    bool
+	Adjustments uint64 // accepted probes (introspection)
+}
+
+type ctlState int
+
+const (
+	ctlBaseline ctlState = iota
+	ctlTestUp
+	ctlRebaseline // re-collect baseline between the up and down probes
+	ctlTestDown
+)
+
+// NewTimeoutCtl returns a controller starting at tInit with window P.
+func NewTimeoutCtl(tInit float64, p int, frozen bool) *TimeoutCtl {
+	return &TimeoutCtl{Td: tInit, Te: tInit, P: p, Frozen: frozen}
+}
+
+// Step advances the controller by one tick. missDelta is the TLB
+// misses incurred this tick; fmfi is the current fragmentation index.
+func (c *TimeoutCtl) Step(missDelta uint64, fmfi float64) {
+	if c.Frozen {
+		return
+	}
+	c.winMisses += missDelta
+	c.winFragSum += fmfi
+	c.ticksInWin++
+	if c.ticksInWin < c.P {
+		return
+	}
+	misses := c.winMisses
+	frag := c.winFragSum / float64(c.P)
+	c.winMisses, c.winFragSum, c.ticksInWin = 0, 0, 0
+
+	switch c.state {
+	case ctlBaseline:
+		c.baseMisses, c.baseFrag, c.havebase = misses, frag, true
+		c.Te = c.Td * 1.1
+		c.state = ctlTestUp
+	case ctlTestUp:
+		if c.accept(misses, frag) {
+			c.Td *= 1.1
+			c.Te = c.Td
+			c.Adjustments++
+			c.state = ctlBaseline
+			return
+		}
+		c.Te = c.Td
+		c.state = ctlRebaseline
+	case ctlRebaseline:
+		c.baseMisses, c.baseFrag = misses, frag
+		c.Te = c.Td * 0.9
+		c.state = ctlTestDown
+	case ctlTestDown:
+		if c.accept(misses, frag) {
+			c.Td *= 0.9
+			c.Adjustments++
+		}
+		c.Te = c.Td
+		c.state = ctlBaseline
+	}
+}
+
+// accept implements TestTimeout's criterion: the TLB-miss decrease is
+// positive and the fragmentation decrease is non-negative relative to
+// the baseline window.
+func (c *TimeoutCtl) accept(misses uint64, frag float64) bool {
+	if !c.havebase {
+		return false
+	}
+	dTLB := int64(c.baseMisses) - int64(misses)
+	dFrag := c.baseFrag - frag
+	return dTLB > 0 && dFrag >= 0
+}
+
+// Timeout returns the effective timeout in whole ticks (at least 1).
+func (c *TimeoutCtl) Timeout() uint64 {
+	if c.Te < 1 {
+		return 1
+	}
+	return uint64(c.Te)
+}

@@ -1,0 +1,203 @@
+// Package frag fragments a buddy allocator's free memory to a target
+// free memory fragmentation index (FMFI), reproducing the memory
+// fragmenter program the paper's evaluation uses before each
+// "fragmented" run (§6.1). It also provides a convenience probe that
+// reports the fragmentation state of an allocator.
+//
+// The fragmenter works the way real-world fragmentation arises: it
+// allocates a large population of base pages, then frees a pseudo-
+// random subset, leaving free memory shattered into small blocks. The
+// retained pages are returned to the caller so they can be freed later
+// (or held for the lifetime of an experiment).
+package frag
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/buddy"
+	"repro/internal/mem"
+)
+
+// Report summarises the fragmentation state of an allocator.
+type Report struct {
+	FMFI            float64 // fragmentation index at huge-page order
+	FreePages       uint64
+	FreeHugeRegions uint64 // free, aligned 2 MiB candidates
+	LargestOrder    int
+}
+
+// Probe returns the current fragmentation state of the allocator.
+func Probe(a *buddy.Allocator) Report {
+	return Report{
+		FMFI:            a.FMFI(mem.HugeOrder),
+		FreePages:       a.FreePages(),
+		FreeHugeRegions: a.FreeHugeCandidates(),
+		LargestOrder:    a.LargestFreeOrder(),
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("FMFI=%.3f free=%d pages hugeCandidates=%d largestOrder=%d",
+		r.FMFI, r.FreePages, r.FreeHugeRegions, r.LargestOrder)
+}
+
+// Fragmenter fragments allocators and tracks the pages it holds so
+// they can be released — wholesale, fractionally, or region by region
+// (the pattern of real recovery: compaction and departing tenants free
+// whole huge-page-sized regions at a time).
+type Fragmenter struct {
+	rng  *rand.Rand
+	held []uint64 // frames pinned to keep memory fragmented
+	a    *buddy.Allocator
+	// heldIdx maps a pinned frame to its position in held, for O(1)
+	// removal.
+	heldIdx map[uint64]int
+	// regionOrder lists the huge regions that hold pinned pages, in
+	// the deterministic order ReleaseRegions frees them.
+	regionOrder []uint64
+	byRegion    map[uint64][]uint64
+}
+
+// New returns a fragmenter over the allocator, seeded deterministically.
+func New(a *buddy.Allocator, seed int64) *Fragmenter {
+	return &Fragmenter{
+		rng:      rand.New(rand.NewSource(seed)),
+		a:        a,
+		heldIdx:  make(map[uint64]int),
+		byRegion: make(map[uint64][]uint64),
+	}
+}
+
+// HeldPages returns the number of frames the fragmenter is pinning.
+func (f *Fragmenter) HeldPages() int { return len(f.held) }
+
+// HeldRegions returns the number of huge regions with pinned pages.
+func (f *Fragmenter) HeldRegions() int { return len(f.regionOrder) }
+
+// FragmentTo drives the allocator's FMFI at huge order to at least the
+// target by allocating base pages and freeing a scattered subset. It
+// consumes at most maxConsumeFraction of total memory as pinned pages
+// (fraction in (0,1]). Returns the achieved FMFI.
+//
+// The strategy allocates pages in 512-page batches (one huge region)
+// and keeps a random ~half of each batch, freeing the rest; every
+// touched huge region becomes unusable for huge allocation while
+// roughly half its space remains free, which raises FMFI quickly
+// without exhausting memory.
+func (f *Fragmenter) FragmentTo(target float64, maxConsumeFraction float64) float64 {
+	if target <= 0 {
+		return f.a.FMFI(mem.HugeOrder)
+	}
+	if maxConsumeFraction <= 0 || maxConsumeFraction > 1 {
+		maxConsumeFraction = 1
+	}
+	budget := uint64(float64(f.a.TotalPages()) * maxConsumeFraction)
+	for f.a.FMFI(mem.HugeOrder) < target && uint64(len(f.held)) < budget {
+		// Take one whole huge-aligned block, then free alternating
+		// pages inside it: each freed page is a lone order-0 block
+		// that cannot merge, so the region is shattered for good
+		// while half its space stays free.
+		start, err := f.a.Alloc(mem.HugeOrder)
+		if err != nil {
+			// No order-9 block left anywhere: FMFI is 1 by definition.
+			break
+		}
+		for i := 0; i < mem.PagesPerHuge; i++ {
+			keep := i%2 == 0
+			if f.rng.Intn(8) == 0 {
+				keep = !keep
+			}
+			fr := start + uint64(i)
+			if keep {
+				f.heldIdx[fr] = len(f.held)
+				f.held = append(f.held, fr)
+				hi := fr / mem.PagesPerHuge
+				if len(f.byRegion[hi]) == 0 {
+					f.regionOrder = append(f.regionOrder, hi)
+				}
+				f.byRegion[hi] = append(f.byRegion[hi], fr)
+			} else {
+				f.a.Free(fr, 0)
+			}
+		}
+	}
+	// Shuffle the release order so recovered regions appear at
+	// scattered addresses, as real compaction and tenant churn yield.
+	f.rng.Shuffle(len(f.regionOrder), func(i, j int) {
+		f.regionOrder[i], f.regionOrder[j] = f.regionOrder[j], f.regionOrder[i]
+	})
+	return f.a.FMFI(mem.HugeOrder)
+}
+
+// ReleaseRegions frees every pinned page of up to n huge regions,
+// modelling background compaction (or a departing tenant) recovering
+// whole huge-page-sized blocks over time. Returns regions released.
+func (f *Fragmenter) ReleaseRegions(n int) int {
+	released := 0
+	for released < n && len(f.regionOrder) > 0 {
+		hi := f.regionOrder[0]
+		f.regionOrder = f.regionOrder[1:]
+		for _, fr := range f.byRegion[hi] {
+			f.a.Free(fr, 0)
+			// Drop from the flat held list lazily: mark by sentinel.
+			f.unhold(fr)
+		}
+		delete(f.byRegion, hi)
+		released++
+	}
+	return released
+}
+
+// unhold removes one frame from the flat held list in O(1).
+func (f *Fragmenter) unhold(fr uint64) {
+	i, ok := f.heldIdx[fr]
+	if !ok {
+		return
+	}
+	last := f.held[len(f.held)-1]
+	f.held[i] = last
+	f.heldIdx[last] = i
+	f.held = f.held[:len(f.held)-1]
+	delete(f.heldIdx, fr)
+}
+
+// ReleaseAll frees every pinned page, letting memory coalesce again.
+func (f *Fragmenter) ReleaseAll() {
+	for _, fr := range f.held {
+		f.a.Free(fr, 0)
+	}
+	f.held = f.held[:0]
+	f.heldIdx = make(map[uint64]int)
+	f.regionOrder = nil
+	f.byRegion = make(map[uint64][]uint64)
+}
+
+// ReleaseFraction frees the given fraction of pinned pages (a partial
+// defragmentation, used to model workloads that free memory over time).
+func (f *Fragmenter) ReleaseFraction(fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction >= 1 {
+		f.ReleaseAll()
+		return
+	}
+	n := int(float64(len(f.held)) * fraction)
+	for i := 0; i < n; i++ {
+		// Free from a random position to avoid releasing one dense run.
+		j := f.rng.Intn(len(f.held))
+		fr := f.held[j]
+		f.a.Free(fr, 0)
+		f.unhold(fr)
+		hi := fr / mem.PagesPerHuge
+		pages := f.byRegion[hi]
+		for k, p := range pages {
+			if p == fr {
+				f.byRegion[hi] = append(pages[:k], pages[k+1:]...)
+				break
+			}
+		}
+	}
+}

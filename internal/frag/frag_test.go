@@ -1,0 +1,146 @@
+package frag
+
+import (
+	"testing"
+
+	"repro/internal/buddy"
+	"repro/internal/mem"
+)
+
+const pages = 64 * 1024 // 256 MiB
+
+func TestProbePristine(t *testing.T) {
+	a := buddy.New(pages)
+	r := Probe(a)
+	if r.FMFI != 0 {
+		t.Errorf("pristine FMFI = %v", r.FMFI)
+	}
+	if r.FreePages != pages {
+		t.Errorf("FreePages = %d", r.FreePages)
+	}
+	if r.FreeHugeRegions != pages/mem.PagesPerHuge {
+		t.Errorf("FreeHugeRegions = %d", r.FreeHugeRegions)
+	}
+	if r.LargestOrder != buddy.MaxOrder {
+		t.Errorf("LargestOrder = %d", r.LargestOrder)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFragmentToTarget(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 42)
+	got := f.FragmentTo(0.8, 0.9)
+	if got < 0.8 {
+		t.Fatalf("achieved FMFI = %v, want >= 0.8", got)
+	}
+	if f.HeldPages() == 0 {
+		t.Fatal("no pages held")
+	}
+	// Free memory remains substantial but shattered.
+	rep := Probe(a)
+	if rep.FreePages == 0 {
+		t.Error("fragmenter consumed all memory")
+	}
+	if rep.FreeHugeRegions > pages/mem.PagesPerHuge/4 {
+		t.Errorf("too many huge candidates remain: %d", rep.FreeHugeRegions)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentToZeroTarget(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 1)
+	if got := f.FragmentTo(0, 0.5); got != 0 {
+		t.Errorf("FMFI = %v", got)
+	}
+	if f.HeldPages() != 0 {
+		t.Errorf("held %d pages for zero target", f.HeldPages())
+	}
+}
+
+func TestFragmentBudget(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 7)
+	f.FragmentTo(0.99, 0.01) // tiny budget
+	if uint64(f.HeldPages()) > pages/100+mem.PagesPerHuge {
+		t.Errorf("budget exceeded: held %d", f.HeldPages())
+	}
+}
+
+func TestFragmentBadBudgetDefaults(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 7)
+	got := f.FragmentTo(0.5, -1) // invalid fraction falls back to 1
+	if got < 0.5 {
+		t.Errorf("achieved FMFI = %v", got)
+	}
+}
+
+func TestReleaseAllRestores(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 42)
+	f.FragmentTo(0.8, 0.9)
+	f.ReleaseAll()
+	if f.HeldPages() != 0 {
+		t.Fatalf("held %d after release", f.HeldPages())
+	}
+	if a.FreePages() != pages {
+		t.Fatalf("FreePages = %d", a.FreePages())
+	}
+	if got := a.FMFI(mem.HugeOrder); got != 0 {
+		t.Fatalf("FMFI after full release = %v", got)
+	}
+}
+
+func TestReleaseFraction(t *testing.T) {
+	a := buddy.New(pages)
+	f := New(a, 42)
+	f.FragmentTo(0.8, 0.9)
+	held := f.HeldPages()
+	f.ReleaseFraction(0.5)
+	if got := f.HeldPages(); got < held/2-1 || got > held/2+1 {
+		t.Errorf("held after 50%% release = %d (was %d)", got, held)
+	}
+	f.ReleaseFraction(0) // no-op
+	f.ReleaseFraction(2) // full release
+	if f.HeldPages() != 0 {
+		t.Errorf("held after over-release = %d", f.HeldPages())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentOutOfMemoryStops(t *testing.T) {
+	a := buddy.New(1024) // tiny arena
+	f := New(a, 9)
+	got := f.FragmentTo(0.9999, 1)
+	// Must terminate; leftover batch is rolled back so free pages and
+	// held pages account for everything.
+	if a.FreePages()+uint64(f.HeldPages()) != 1024 {
+		t.Fatalf("page leak: free=%d held=%d", a.FreePages(), f.HeldPages())
+	}
+	_ = got
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int) {
+		a := buddy.New(pages)
+		f := New(a, 123)
+		fm := f.FragmentTo(0.7, 0.9)
+		return fm, f.HeldPages()
+	}
+	f1, h1 := run()
+	f2, h2 := run()
+	if f1 != f2 || h1 != h2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", f1, h1, f2, h2)
+	}
+}

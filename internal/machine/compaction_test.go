@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+func TestCompactRegionMovesMappedPages(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	v := vm.Guest.Space.MMap(4*mem.HugeSize, 0)
+	// Touch scattered pages: their frames land in region 0 of the
+	// pristine buddy (lowest-first), interleaved with free frames.
+	for i := uint64(0); i < 100; i++ {
+		vm.Access(v.Start + i*mem.PageSize)
+	}
+	free := vm.Guest.Buddy.FreePages()
+	if !vm.Guest.CompactRegion(0) {
+		t.Fatal("compaction failed on a fully movable region")
+	}
+	// The region is now one free order-9 block.
+	if !vm.Guest.Buddy.IsFree(0, mem.HugeOrder) {
+		t.Fatal("region not free after compaction")
+	}
+	// Free page count unchanged: every migrated page took one frame
+	// elsewhere and released one here.
+	if got := vm.Guest.Buddy.FreePages(); got != free {
+		t.Fatalf("free pages %d -> %d", free, got)
+	}
+	// All mappings still resolve.
+	for i := uint64(0); i < 100; i++ {
+		if _, _, ok := vm.Guest.Table.Lookup(v.Start + i*mem.PageSize); !ok {
+			t.Fatalf("mapping %d lost", i)
+		}
+	}
+	if vm.Guest.Stats.CompactedRegions != 1 || vm.Guest.Stats.MigratedPages != 100 {
+		t.Fatalf("stats = %+v", vm.Guest.Stats)
+	}
+	// Migration stall queued.
+	if vm.Guest.TakeStall() == 0 {
+		t.Fatal("no stall charged for compaction shootdowns")
+	}
+}
+
+func TestCompactRegionAbortsOnUnmovable(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	v := vm.Guest.Space.MMap(mem.HugeSize, 0)
+	vm.Access(v.Start) // frame 0 mapped
+	// Pin a frame the table knows nothing about (unmovable page).
+	if err := vm.Guest.Buddy.AllocAt(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	free := vm.Guest.Buddy.FreePages()
+	if vm.Guest.CompactRegion(0) {
+		t.Fatal("compacted a region with an unmovable frame")
+	}
+	// Rollback: free count restored.
+	if got := vm.Guest.Buddy.FreePages(); got != free {
+		t.Fatalf("rollback leaked: %d -> %d", free, got)
+	}
+	if err := vm.Guest.Buddy.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRegionOutOfRange(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	if vm.Guest.CompactRegion(vm.Guest.Buddy.TotalPages() / mem.PagesPerHuge) {
+		t.Fatal("compacted region beyond end of memory")
+	}
+}
+
+func TestCompactRegionSkipsHugeMapped(t *testing.T) {
+	_, vm := newTestMachine(hugePolicy{}, basePolicy{})
+	v := vm.Guest.Space.MMap(mem.HugeSize, 0)
+	vm.Access(v.Start) // huge mapping occupies region 0's frames
+	gfn, kind, _ := vm.Guest.Table.Lookup(v.Start)
+	if kind != mem.Huge {
+		t.Fatal("setup: no huge mapping")
+	}
+	if vm.Guest.CompactRegion(gfn / mem.PagesPerHuge) {
+		t.Fatal("compacted a huge-mapped region")
+	}
+}
+
+func TestRunCompactionRespectsWatermark(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	// Pristine memory: plenty of blocks, compaction must not run.
+	if vm.Guest.RunCompaction(CompactionLowWatermark, 64) {
+		t.Fatal("compaction ran above the watermark")
+	}
+	if vm.Guest.Stats.CompactedRegions != 0 {
+		t.Fatalf("stats = %+v", vm.Guest.Stats)
+	}
+}
+
+func TestRunCompactionMintsBlockWhenStarved(t *testing.T) {
+	m := NewMachine(testHostPages, DefaultCosts())
+	vm := m.AddVM(8*mem.PagesPerHuge /* tiny guest: 16 MiB */, basePolicy{}, basePolicy{}, tlb.DefaultConfig())
+	v := vm.Guest.Space.MMap(7*mem.HugeSize, 0)
+	// Touch every other page across the whole guest: no free order-9
+	// block remains, but every region is movable.
+	for i := uint64(0); i < 7*mem.PagesPerHuge; i += 2 {
+		vm.Access(v.Start + i*mem.PageSize)
+	}
+	if vm.Guest.Buddy.FreeHugeCandidates() >= CompactionLowWatermark {
+		t.Skip("allocator kept blocks; scenario not starved")
+	}
+	if !vm.Guest.RunCompaction(CompactionLowWatermark, 64) {
+		t.Fatalf("starved layer failed to mint a block: cands=%d free=%d",
+			vm.Guest.Buddy.FreeHugeCandidates(), vm.Guest.Buddy.FreePages())
+	}
+	if vm.Guest.Buddy.FreeHugeCandidates() == 0 {
+		t.Fatal("no block after successful compaction")
+	}
+}
+
+func TestReverseLookupThroughLayerOps(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	v := vm.Guest.Space.MMap(mem.HugeSize, 0)
+	vm.Access(v.Start)
+	gfn, _, _ := vm.Guest.Table.Lookup(v.Start)
+	va, ok := vm.Guest.Table.ReverseLookup(gfn)
+	if !ok || va != v.Start {
+		t.Fatalf("ReverseLookup = %#x, %v", va, ok)
+	}
+	// Unmap clears the reverse entry.
+	vm.Guest.UnmapVMA(v)
+	if _, ok := vm.Guest.Table.ReverseLookup(gfn); ok {
+		t.Fatal("reverse entry survived unmap")
+	}
+}

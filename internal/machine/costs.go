@@ -1,0 +1,51 @@
+package machine
+
+// CostModel holds the cycle costs of memory-management events. The
+// values approximate the relative magnitudes reported in the
+// literature the paper builds on (Ingens, HawkEye, Translation-ranger):
+// what matters for reproducing the evaluation's shape is the ordering —
+// a synchronous huge-page fault costs far more than a base fault
+// (page clearing), migration-based promotion costs ~512 page copies
+// plus a shootdown, and in-place promotion is nearly free.
+type CostModel struct {
+	// FaultBase is the cost of a minor fault mapping one base page.
+	FaultBase uint64
+	// FaultHugeZero is the additional cost of a synchronous huge-page
+	// fault (zeroing 2 MiB, the Linux THP first-touch latency issue
+	// Ingens identifies).
+	FaultHugeZero uint64
+	// CopyPage is the cost of migrating one base page's contents.
+	CopyPage uint64
+	// Shootdown is the cost of one TLB shootdown (IPI round) charged
+	// when mappings change under running threads.
+	Shootdown uint64
+	// CollapseInPlace is the bookkeeping cost of an in-place
+	// promotion (no copies).
+	CollapseInPlace uint64
+	// CoWFault is the cost of re-instantiating a deduplicated page
+	// (HawkEye's zero-page dedup penalty).
+	CoWFault uint64
+	// ScanRegion is the daemon cost of scanning one 2 MiB region's
+	// PTEs for promotability.
+	ScanRegion uint64
+	// CachePollution is the foreground slowdown per migrated page:
+	// daemons run on spare cores, but their copies evict the
+	// workload's cache lines and their shootdowns interrupt vCPUs —
+	// the effect the paper blames for Translation-ranger's latency
+	// (§6.2). Charged as a stall alongside Shootdown.
+	CachePollution uint64
+}
+
+// DefaultCosts returns the cost model used across the reproduction.
+func DefaultCosts() CostModel {
+	return CostModel{
+		FaultBase:       2_000,
+		FaultHugeZero:   60_000,
+		CopyPage:        3_000,
+		Shootdown:       8_000,
+		CollapseInPlace: 2_000,
+		CoWFault:        4_000,
+		ScanRegion:      500,
+		CachePollution:  40,
+	}
+}

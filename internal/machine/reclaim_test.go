@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// starveGuest builds a tiny VM whose guest memory is nearly exhausted
+// by a huge-mapped region plus base pages, so reclaim triggers.
+func starveGuest(t *testing.T) (*Machine, *VM, *VMA) {
+	t.Helper()
+	m := NewMachine(testHostPages, DefaultCosts())
+	vm := m.AddVM(4*mem.PagesPerHuge, hugePolicy{}, basePolicy{}, tlb.DefaultConfig())
+	v := vm.Guest.Space.MMap(3*mem.HugeSize, 0)
+	vm.Access(v.Start) // huge mapping consumes region
+	return m, vm, v
+}
+
+func TestReclaimDemotesColdHugePages(t *testing.T) {
+	_, vm, v := starveGuest(t)
+	// Let the region go cold.
+	for vm.Guest.Heat(v.Start) > 0 {
+		vm.Guest.DecayHeat()
+	}
+	freed := vm.Guest.ReclaimUnderPressure(vm.Guest.Buddy.TotalPages(), 4, nil)
+	if vm.Guest.Table.Mapped2M() != 0 {
+		t.Fatal("cold huge page survived reclaim")
+	}
+	if vm.Guest.Stats.Splits != 1 {
+		t.Fatalf("stats = %+v", vm.Guest.Stats)
+	}
+	// Guest layer never unmaps (its mappings ARE the data).
+	if freed != 0 {
+		t.Fatalf("guest reclaim freed %d pages", freed)
+	}
+}
+
+func TestReclaimSkipsHotHugePages(t *testing.T) {
+	_, vm, v := starveGuest(t)
+	vm.Access(v.Start + mem.PageSize) // keep the region hot
+	vm.Guest.ReclaimUnderPressure(vm.Guest.Buddy.TotalPages(), 4, nil)
+	if vm.Guest.Table.Mapped2M() != 1 {
+		t.Fatal("hot huge page demoted")
+	}
+}
+
+func TestReclaimHonoursKeepFilter(t *testing.T) {
+	_, vm, v := starveGuest(t)
+	for vm.Guest.Heat(v.Start) > 0 {
+		vm.Guest.DecayHeat()
+	}
+	vm.Guest.ReclaimUnderPressure(vm.Guest.Buddy.TotalPages(), 4,
+		func(uint64) bool { return true })
+	if vm.Guest.Table.Mapped2M() != 1 {
+		t.Fatal("kept huge page was demoted")
+	}
+}
+
+func TestReclaimNoopAboveWatermark(t *testing.T) {
+	_, vm, v := starveGuest(t)
+	for vm.Guest.Heat(v.Start) > 0 {
+		vm.Guest.DecayHeat()
+	}
+	vm.Guest.ReclaimUnderPressure(1 /* watermark below free */, 4, nil)
+	if vm.Guest.Table.Mapped2M() != 1 {
+		t.Fatal("reclaim ran above watermark")
+	}
+}
+
+func TestEPTReclaimDropsBloat(t *testing.T) {
+	m := NewMachine(testHostPages, DefaultCosts())
+	vm := m.AddVM(testGuestPages, basePolicy{}, hugePolicy{}, tlb.DefaultConfig())
+	v := vm.Guest.Space.MMap(mem.HugeSize, 0)
+	// One access: the host backs the whole GPA region huge although
+	// only one page is live — 511 pages of bloat.
+	vm.Access(v.Start)
+	if vm.EPT.Table.Mapped2M() != 1 {
+		t.Fatal("setup: no huge EPT backing")
+	}
+	for vm.EPT.Heat(0) > 0 {
+		vm.EPT.DecayHeat()
+	}
+	hostFree := m.HostBuddy.FreePages()
+	freed := vm.EPT.ReclaimUnderPressure(m.HostBuddy.TotalPages(), 4, nil)
+	if freed == 0 {
+		t.Fatalf("no bloat reclaimed; EPT stats = %+v", vm.EPT.Stats)
+	}
+	if m.HostBuddy.FreePages() <= hostFree {
+		t.Fatal("host memory not recovered")
+	}
+	// The live page must survive: it was accessed before demotion...
+	// demotion resets accessed bits, so the conservative EPT reclaim
+	// may drop it too; the guest then refaults it on next access.
+	c := vm.Access(v.Start)
+	if c == 0 {
+		t.Fatal("access after reclaim cost nothing")
+	}
+	if _, _, ok := vm.EPT.Table.Lookup(0); !ok {
+		// The GPA of v.Start's frame must be mapped again after the
+		// access above.
+		gfn, _, _ := vm.Guest.Table.Lookup(v.Start)
+		if _, _, ok := vm.EPT.Table.Lookup(gfn * mem.PageSize); !ok {
+			t.Fatal("EPT refault did not restore backing")
+		}
+	}
+}
+
+func TestAccessedBitsHarvest(t *testing.T) {
+	_, vm := newTestMachine(basePolicy{}, basePolicy{})
+	v := vm.Guest.Space.MMap(mem.HugeSize, 0)
+	vm.Touch(v.Start)
+	if vm.Guest.Table.Accessed(v.Start) {
+		t.Fatal("freshly mapped page already accessed")
+	}
+	vm.Access(v.Start)
+	if !vm.Guest.Table.Accessed(v.Start) {
+		t.Fatal("access did not set the A bit")
+	}
+	vm.Guest.Table.ClearAccessed(v.Start)
+	if vm.Guest.Table.Accessed(v.Start) {
+		t.Fatal("ClearAccessed did not clear")
+	}
+	if vm.Guest.Table.Accessed(v.Start + 8*mem.PageSize) {
+		t.Fatal("unmapped page reports accessed")
+	}
+}

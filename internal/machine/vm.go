@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"repro/internal/buddy"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+// VM is one virtual machine: a guest with its own physical memory and
+// process page table, an EPT over the shared host allocator, and a TLB
+// (the hardware TLB as seen by this VM's vCPUs).
+type VM struct {
+	// ID is the VM identifier used by the host-side scanner.
+	ID int
+	// Guest is the guest layer: process page table (GVA -> GFN) over
+	// the guest physical allocator.
+	Guest *Layer
+	// EPT is the host layer for this VM: the VM page table
+	// (GPA -> HFN) over host physical memory.
+	EPT *Layer
+	// TLB is the translation cache the VM's accesses exercise.
+	TLB *tlb.TLB
+
+	guestPages uint64
+	costs      CostModel
+}
+
+// GuestPages returns the VM's guest physical memory size in frames.
+func (vm *VM) GuestPages() uint64 { return vm.guestPages }
+
+// Machine is the simulated server: host physical memory plus the VMs
+// consolidated on it.
+type Machine struct {
+	// HostBuddy allocates host physical frames, shared by all VMs.
+	HostBuddy *buddy.Allocator
+	// VMs lists the machines' guests.
+	VMs []*VM
+	// Costs is the machine-wide cost model.
+	Costs CostModel
+	// Ticks counts daemon quanta elapsed.
+	Ticks uint64
+}
+
+// NewMachine creates a host with the given amount of physical memory.
+func NewMachine(hostPages uint64, costs CostModel) *Machine {
+	return &Machine{
+		HostBuddy: buddy.New(hostPages),
+		Costs:     costs,
+	}
+}
+
+// AddVM creates a VM with guestPages of guest physical memory, the
+// given per-layer policies, and a TLB with the given configuration.
+func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg tlb.Config) *VM {
+	vm := &VM{
+		ID:         len(m.VMs),
+		TLB:        tlb.New(tcfg),
+		guestPages: guestPages,
+		costs:      m.Costs,
+	}
+	guestSpace := NewAddressSpace(64 * mem.HugeSize)
+	vm.Guest = NewLayer("guest", buddy.New(guestPages), guestSpace, guestPolicy, m.Costs)
+	// The EPT's input space is guest physical memory: one VMA
+	// covering [0, guestPages).
+	eptSpace := NewAddressSpace(0)
+	eptSpace.MMap(guestPages*mem.PageSize, 0)
+	vm.EPT = NewLayer("ept", m.HostBuddy, eptSpace, hostPolicy, m.Costs)
+	// Guest-layer mapping changes shoot down this VM's TLB entries by
+	// virtual region. (EPT-layer changes leave stale-but-correct
+	// base-grain entries to age out, as discussed in the TLB package.)
+	vm.Guest.FlushRegion = vm.TLB.FlushHugeRegion
+	m.VMs = append(m.VMs, vm)
+	return vm
+}
+
+// Access performs one guest memory access at gva, faulting in both
+// layers as needed, and returns the cycles consumed (faults, page
+// walk or TLB hit, and any pending shootdown stalls).
+func (vm *VM) Access(gva uint64) uint64 {
+	var cycles uint64
+	c, _ := vm.Guest.EnsureMapped(gva)
+	cycles += c
+	gfn, gKind, ok := vm.Guest.Table.Lookup(gva)
+	if !ok {
+		panic("machine: guest unmapped after fault")
+	}
+	gpa := gfn*mem.PageSize + (gva & (mem.PageSize - 1))
+	c, _ = vm.EPT.EnsureMapped(gpa)
+	cycles += c
+	_, hKind, ok := vm.EPT.Table.Lookup(gpa)
+	if !ok {
+		panic("machine: EPT unmapped after fault")
+	}
+	vm.Guest.RecordAccess(gva)
+	vm.EPT.RecordAccess(gpa)
+	vm.Guest.Table.MarkAccessed(gva)
+	vm.EPT.Table.MarkAccessed(gpa)
+
+	// The §2.2 alignment rule: a 2 MiB TLB entry requires huge
+	// mappings at both layers. (Boundaries coincide automatically: a
+	// huge guest mapping points at a huge-aligned GPA region, and a
+	// huge EPT mapping covering that GPA covers exactly that region.)
+	eff := mem.Base
+	if gKind == mem.Huge && hKind == mem.Huge {
+		eff = mem.Huge
+	}
+	res := vm.TLB.AccessNested(gva, eff, gKind, hKind, gpa)
+	cycles += res.Cycles
+	cycles += vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
+	return cycles
+}
+
+// Touch maps the page containing gva in both layers without charging
+// an access (used to pre-populate state in tests and workload setup).
+func (vm *VM) Touch(gva uint64) {
+	vm.Guest.EnsureMapped(gva)
+	gfn, _, _ := vm.Guest.Table.Lookup(gva)
+	vm.EPT.EnsureMapped(gfn * mem.PageSize)
+}
+
+// CompactionLowWatermark is the free-block level below which each
+// layer's kcompactd quantum runs during Tick.
+const CompactionLowWatermark = 8
+
+// Tick runs one background quantum: kcompactd keeps a minimal reserve
+// of order-9 blocks at each layer (as Linux does for every system
+// under test), then both layers' coalescing daemons run and access
+// heat decays.
+func (m *Machine) Tick() {
+	m.Ticks++
+	for _, vm := range m.VMs {
+		vm.Guest.RunCompaction(CompactionLowWatermark, 64)
+		vm.EPT.RunCompaction(CompactionLowWatermark, 64)
+		reclaimTick(vm.Guest)
+		reclaimTick(vm.EPT)
+		vm.Guest.Policy.Tick(vm.Guest)
+		vm.EPT.Policy.Tick(vm.EPT)
+		vm.Guest.DecayHeat()
+		vm.EPT.DecayHeat()
+	}
+}
+
+// reclaimTick runs the layer's memory-pressure reclaim quantum: when
+// free memory drops under 2% of the layer's total, cold huge mappings
+// are demoted (and, at the EPT layer, their never-accessed bloat is
+// dropped), with the policy's DemotionFilter consulted.
+func reclaimTick(L *Layer) {
+	low := L.Buddy.TotalPages() / 50
+	var keep func(uint64) bool
+	if f, ok := L.Policy.(DemotionFilter); ok {
+		keep = func(va uint64) bool { return f.KeepHuge(L, va) }
+	}
+	L.ReclaimUnderPressure(low, 4, keep)
+}
+
+// AlignStats summarises huge-page alignment across the two layers of
+// one VM.
+type AlignStats struct {
+	// GuestHuge is the number of huge mappings in the guest table.
+	GuestHuge uint64
+	// HostHuge is the number of huge mappings in the EPT.
+	HostHuge uint64
+	// Aligned is the number of well-aligned pairs: a guest huge page
+	// whose GPA region the EPT also maps huge.
+	Aligned uint64
+}
+
+// Rate returns the fraction of huge pages that are well-aligned:
+// 2*Aligned / (GuestHuge + HostHuge). Zero when no huge pages exist.
+func (s AlignStats) Rate() float64 {
+	total := s.GuestHuge + s.HostHuge
+	if total == 0 {
+		return 0
+	}
+	return 2 * float64(s.Aligned) / float64(total)
+}
+
+// Alignment scans both layers' tables and reports alignment, the
+// quantity Tables 1, 3 and 4 of the paper profile. Host huge pages are
+// counted only when the guest currently maps memory onto their region:
+// a stale EPT backing left over from a departed process translates no
+// accesses, so it does not figure in the rate (the paper measures
+// alignment over the pages workloads actually use).
+func (vm *VM) Alignment() AlignStats {
+	var s AlignStats
+	used := make(map[uint64]bool)
+	vm.Guest.Table.ScanAll(func(mp pagetable.Mapping) bool {
+		if mp.Kind == mem.Huge {
+			s.GuestHuge++
+			gpa := mp.Frame * mem.PageSize
+			if _, isHuge, _ := vm.EPT.Table.LookupHugeRegion(gpa); isHuge {
+				s.Aligned++
+			}
+		}
+		used[mp.Frame/mem.PagesPerHuge] = true
+		return true
+	})
+	vm.EPT.Table.ScanHuge(func(mp pagetable.Mapping) bool {
+		if used[mp.VA>>mem.HugeShift] {
+			s.HostHuge++
+		}
+		return true
+	})
+	return s
+}
+
+// ResetGuestProcess tears down the guest process — unmapping every
+// VMA and freeing its guest frames — and installs a fresh address
+// space, modelling a workload finishing and a new one starting in the
+// same (reused) VM. EPT state persists, as host memory given to a VM
+// is not returned (§6.3). The TLB is flushed (context switch).
+func (vm *VM) ResetGuestProcess() {
+	for _, v := range append([]*VMA(nil), vm.Guest.Space.VMAs()...) {
+		vm.Guest.UnmapVMA(v)
+	}
+	vm.Guest.Space = NewAddressSpace(64 * mem.HugeSize)
+	vm.Guest.Table = pagetable.New()
+	vm.TLB.FlushAll()
+}

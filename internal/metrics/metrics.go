@@ -1,0 +1,262 @@
+// Package metrics provides the lightweight instrumentation used across
+// the simulator: monotonically increasing counters, windowed deltas for
+// control loops (Gemini's booking-timeout adjustment consumes windowed
+// TLB-miss and fragmentation readings), and a fixed-resolution latency
+// histogram good enough for mean and high-percentile reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Window tracks the delta of a counter-like series between observation
+// points. Algorithm 1 in the paper compares "TLB misses over the last
+// period" across consecutive periods; Window provides exactly that.
+type Window struct {
+	last    uint64
+	current uint64
+	primed  bool
+}
+
+// Observe records the latest absolute value and returns the delta since
+// the previous observation. The first observation primes the window and
+// returns 0.
+func (w *Window) Observe(abs uint64) uint64 {
+	if !w.primed {
+		w.primed = true
+		w.last = abs
+		w.current = abs
+		return 0
+	}
+	delta := abs - w.current
+	w.last = w.current
+	w.current = abs
+	return delta
+}
+
+// LastDelta returns the most recent delta without observing.
+func (w *Window) LastDelta() uint64 {
+	if !w.primed {
+		return 0
+	}
+	return w.current - w.last
+}
+
+// Histogram is a latency histogram with logarithmic buckets. Values are
+// recorded in abstract cycles; the bucket layout covers 1 cycle to ~1e12
+// with ~4% relative resolution, sufficient for mean and p99 reporting.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// bucketsPerDecade controls resolution: 64 buckets per factor of 10.
+const bucketsPerDecade = 64
+
+// maxDecades bounds the value range at 1e12.
+const maxDecades = 12
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]uint64, bucketsPerDecade*maxDecades+1),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+func (h *Histogram) bucketIndex(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	idx := int(math.Log10(v) * bucketsPerDecade)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	return idx
+}
+
+// bucketValue returns a representative value for bucket i (geometric
+// midpoint of the bucket's range).
+func (h *Histogram) bucketValue(i int) float64 {
+	return math.Pow(10, (float64(i)+0.5)/bucketsPerDecade)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	h.buckets[h.bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of all observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the value at quantile q in [0,1], approximated by the
+// bucket layout. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			v := h.bucketValue(i)
+			// Clamp to observed extremes: bucket midpoints can
+			// over/undershoot for sparse histograms.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Reset clears all recorded data.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}
+
+// Merge adds the contents of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p99=%.1f max=%.1f",
+		h.count, h.Mean(), h.P99(), h.Max())
+}
+
+// Series is a small helper for accumulating float samples when exact
+// quantiles are needed (used by tests and small sweeps, not hot paths).
+type Series struct {
+	vals []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Quantile returns the exact q-quantile (nearest-rank), or 0 when empty.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

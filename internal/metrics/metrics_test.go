@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after Reset = %d", c.Value())
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var w Window
+	if d := w.Observe(100); d != 0 {
+		t.Errorf("priming delta = %d, want 0", d)
+	}
+	if d := w.Observe(150); d != 50 {
+		t.Errorf("delta = %d, want 50", d)
+	}
+	if d := w.LastDelta(); d != 50 {
+		t.Errorf("LastDelta = %d, want 50", d)
+	}
+	if d := w.Observe(150); d != 0 {
+		t.Errorf("flat delta = %d, want 0", d)
+	}
+	if d := w.Observe(151); d != 1 {
+		t.Errorf("delta = %d, want 1", d)
+	}
+}
+
+func TestWindowUnprimed(t *testing.T) {
+	var w Window
+	if w.LastDelta() != 0 {
+		t.Errorf("unprimed LastDelta = %d", w.LastDelta())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram non-zero: %s", h)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", m)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// p99 of 1..100 should land near 99 (within bucket resolution ~5%).
+	p := h.P99()
+	if p < 90 || p > 100 {
+		t.Errorf("P99 = %v, want ~99", p)
+	}
+	// Median near 50.
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+}
+
+func TestHistogramIgnoresInvalid(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-1)
+	h.Record(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("invalid values recorded: count = %d", h.Count())
+	}
+}
+
+func TestHistogramExtremeQuantiles(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	h.Record(1000)
+	if h.Quantile(0) != 10 {
+		t.Errorf("Quantile(0) = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000 {
+		t.Errorf("Quantile(1) = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Property: for lognormal-ish data, histogram quantiles stay within
+	// ~10% of exact quantiles.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var s Series
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.5 + 5)
+		h.Record(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := s.Quantile(q)
+		approx := h.Quantile(q)
+		if math.Abs(approx-exact)/exact > 0.10 {
+			t.Errorf("q=%v: approx %v vs exact %v", q, approx, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	a.Record(10)
+	b.Record(20)
+	b.Record(30)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if m := a.Mean(); math.Abs(m-20) > 1e-9 {
+		t.Errorf("merged mean = %v", m)
+	}
+	if a.Min() != 10 || a.Max() != 30 {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := NewHistogram()
+	a.Record(5)
+	a.Merge(NewHistogram())
+	if a.Count() != 1 || a.Min() != 5 {
+		t.Errorf("merge with empty changed data: %s", a)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(7)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Errorf("after reset: %s", h)
+	}
+	h.Record(3)
+	if h.Min() != 3 || h.Max() != 3 {
+		t.Errorf("post-reset record: %s", h)
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < 200; i++ {
+			h.Record(rng.Float64() * 1e6)
+		}
+		prev := -1.0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Len() != 0 {
+		t.Errorf("empty series non-zero")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Errorf("extremes = %v, %v", s.Quantile(0), s.Quantile(1))
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", s.Quantile(0.5))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	if got := h.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,505 @@
+// Package sim assembles machine, policies, workloads, and metrics
+// into runnable experiments matching the paper's evaluation settings:
+// clean-slate VM (§6.2), reused VM (§6.3), fragmented or pristine
+// memory, and collocated VMs (§6.5). Each run is deterministic for a
+// given seed.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/buddy"
+	"repro/internal/core"
+	"repro/internal/frag"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/tlb"
+	"repro/internal/workload"
+)
+
+// System identifies one of the evaluated systems.
+type System int
+
+// The eight systems of the paper's evaluation plus Gemini ablations.
+const (
+	// HostBVMB uses base pages at both layers.
+	HostBVMB System = iota
+	// Misalignment backs base-page guests with huge host pages only.
+	Misalignment
+	// THP runs Linux transparent huge pages at both layers.
+	THP
+	// CAPaging runs contiguity-aware paging at both layers.
+	CAPaging
+	// Ranger runs Translation Ranger at both layers.
+	Ranger
+	// HawkEye runs HawkEye at both layers.
+	HawkEye
+	// Ingens runs Ingens at both layers.
+	Ingens
+	// Gemini is the paper's system.
+	Gemini
+	// GeminiNoBucket disables the huge bucket (EMA/HB only), the
+	// first half of the Figure 16 breakdown.
+	GeminiNoBucket
+	// GeminiBucketOnly disables EMA/HB/promoter (bucket only), the
+	// second half of the Figure 16 breakdown.
+	GeminiBucketOnly
+	// GeminiStaticTimeout freezes the booking timeout (ablation).
+	GeminiStaticTimeout
+	// GeminiNoPrealloc disables huge preallocation (ablation).
+	GeminiNoPrealloc
+	numSystems
+)
+
+// Systems lists the paper's eight evaluated systems in figure order.
+func Systems() []System {
+	return []System{HostBVMB, Misalignment, THP, CAPaging, Ranger, HawkEye, Ingens, Gemini}
+}
+
+// String returns the system's display name.
+func (s System) String() string {
+	switch s {
+	case HostBVMB:
+		return "Host-B-VM-B"
+	case Misalignment:
+		return "Misalignment"
+	case THP:
+		return "THP"
+	case CAPaging:
+		return "CA-paging"
+	case Ranger:
+		return "Trans-ranger"
+	case HawkEye:
+		return "HawkEye"
+	case Ingens:
+		return "Ingens"
+	case Gemini:
+		return "GEMINI"
+	case GeminiNoBucket:
+		return "GEMINI-EMA/HB"
+	case GeminiBucketOnly:
+		return "GEMINI-bucket"
+	case GeminiStaticTimeout:
+		return "GEMINI-static-timeout"
+	case GeminiNoPrealloc:
+		return "GEMINI-no-prealloc"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// SystemByName resolves a display name.
+func SystemByName(name string) (System, error) {
+	for s := System(0); s < numSystems; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown system %q", name)
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// System selects the page management system under test.
+	System System
+	// Workload selects the application model.
+	Workload workload.Spec
+	// Fragmented pre-fragments guest and host memory (§6.1).
+	Fragmented bool
+	// FragTarget is the FMFI the fragmenter drives toward
+	// (default 0.9).
+	FragTarget float64
+	// ReusedVM runs the SVM predecessor to completion first (§6.3).
+	ReusedVM bool
+	// GuestMemMB and HostMemMB size the memories
+	// (defaults 1024 and 2560).
+	GuestMemMB int
+	HostMemMB  int
+	// Requests is the measured request count (default 6000).
+	Requests int
+	// RequestsPerTick paces the background daemons (default 64).
+	RequestsPerTick int
+	// WarmupRequests run before measurement (default Requests/4).
+	WarmupRequests int
+	// RecoverEveryTicks paces fragmentation recovery: one huge region
+	// per layer returns every N ticks (default 12). Recovery far
+	// below footprint keeps huge-page supply scarce for the whole
+	// run, as the paper's fragmented setting does.
+	RecoverEveryTicks int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.GuestMemMB == 0 {
+		c.GuestMemMB = 1024
+	}
+	if c.HostMemMB == 0 {
+		c.HostMemMB = 2560
+	}
+	if c.Requests == 0 {
+		c.Requests = 6000
+	}
+	if c.RequestsPerTick == 0 {
+		c.RequestsPerTick = 64
+	}
+	if c.WarmupRequests == 0 {
+		c.WarmupRequests = c.Requests
+	}
+	if c.FragTarget == 0 {
+		c.FragTarget = 0.96
+	}
+	if c.RecoverEveryTicks == 0 {
+		c.RecoverEveryTicks = 1
+	}
+	return c
+}
+
+// Result reports one run.
+type Result struct {
+	System   string
+	Workload string
+
+	// Throughput is requests per million foreground cycles.
+	Throughput float64
+	// MeanLatency and P99Latency are request latencies in cycles
+	// (zero for non-latency-reporting workloads).
+	MeanLatency float64
+	P99Latency  float64
+
+	// TLBMissesPerKAccess is TLB misses per thousand accesses.
+	TLBMissesPerKAccess float64
+	// WalkCyclesPerAccess is mean page-walk cycles per access.
+	WalkCyclesPerAccess float64
+
+	// AlignedRate is the fraction of huge pages that are well-aligned
+	// at the end of the run (the Tables 1/3/4 metric).
+	AlignedRate float64
+	GuestHuge   uint64
+	HostHuge    uint64
+
+	// GuestFMFI is the final guest fragmentation index.
+	GuestFMFI float64
+	// MigratedPages counts migration work across both layers.
+	MigratedPages uint64
+	// BackgroundCycles counts daemon work across both layers.
+	BackgroundCycles uint64
+	// BucketReuseRate is reused/taken for Gemini's bucket (§6.3).
+	BucketReuseRate float64
+}
+
+// buildPolicies constructs the per-layer policies for a system. The
+// returned Gemini coordinator is nil for non-Gemini systems.
+func buildPolicies(sys System) (machine.Policy, machine.Policy, *core.Gemini) {
+	switch sys {
+	case HostBVMB:
+		return policy.BaseOnly{}, policy.BaseOnly{}, nil
+	case Misalignment:
+		// Guest strictly base pages; host runs THP so host huge pages
+		// form both synchronously and via khugepaged — all of them
+		// necessarily mis-aligned.
+		return policy.BaseOnly{}, policy.NewTHP(policy.DefaultTHPParams()), nil
+	case THP:
+		return policy.NewTHP(policy.DefaultTHPParams()),
+			policy.NewTHP(policy.DefaultTHPParams()), nil
+	case CAPaging:
+		return policy.NewCAPaging(policy.DefaultCAPagingParams()),
+			policy.NewCAPaging(policy.DefaultCAPagingParams()), nil
+	case Ranger:
+		return policy.NewRanger(policy.DefaultRangerParams()),
+			policy.NewRanger(policy.DefaultRangerParams()), nil
+	case HawkEye:
+		// Utilization floors are scaled from the published values:
+		// the simulated measurement window touches each page only a
+		// handful of times, where a real run touches it thousands of
+		// times, so presence accumulates proportionally more slowly.
+		gp := policy.DefaultHawkEyeParams()
+		gp.UtilThreshold = 192
+		return policy.NewHawkEye(gp), policy.NewHawkEye(gp), nil
+	case Ingens:
+		ip := policy.DefaultIngensParams()
+		ip.UtilThreshold = 256 // see HawkEye note
+		return policy.NewIngens(ip), policy.NewIngens(ip), nil
+	case Gemini:
+		g, gp, hp := core.New(core.Config{})
+		return gp, hp, g
+	case GeminiNoBucket:
+		g, gp, hp := core.New(core.Config{DisableBucket: true})
+		return gp, hp, g
+	case GeminiBucketOnly:
+		g, gp, hp := core.New(core.Config{DisableBooking: true, DisablePromoter: true})
+		return gp, hp, g
+	case GeminiStaticTimeout:
+		g, gp, hp := core.New(core.Config{DisableAdaptiveTimeout: true})
+		return gp, hp, g
+	case GeminiNoPrealloc:
+		g, gp, hp := core.New(core.Config{PreallocThreshold: mem.PagesPerHuge + 1})
+		return gp, hp, g
+	default:
+		panic(fmt.Sprintf("sim: unknown system %v", sys))
+	}
+}
+
+// Run executes one experiment.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	hostPages := uint64(cfg.HostMemMB) << 20 >> mem.PageShift
+	guestPages := uint64(cfg.GuestMemMB) << 20 >> mem.PageShift
+
+	m := machine.NewMachine(hostPages, machine.DefaultCosts())
+	gp, hp, gem := buildPolicies(cfg.System)
+	vm := m.AddVM(guestPages, gp, hp, tlb.DefaultConfig())
+	if gem != nil {
+		gem.Attach(vm)
+	}
+	var fragmenters []*frag.Fragmenter
+	if cfg.Fragmented {
+		hf := frag.New(m.HostBuddy, cfg.Seed+101)
+		hf.FragmentTo(cfg.FragTarget, 0.55)
+		gf := frag.New(vm.Guest.Buddy, cfg.Seed+202)
+		gf.FragmentTo(cfg.FragTarget, 0.5)
+		fragmenters = []*frag.Fragmenter{hf, gf}
+	}
+	rec := &recovery{fragmenters: fragmenters, every: cfg.RecoverEveryTicks}
+	if cfg.ReusedVM {
+		runPredecessor(m, vm, cfg, rec)
+	}
+	res := runWorkload(m, vm, cfg.Workload, cfg, rec)
+	res.System = cfg.System.String()
+	if gem != nil {
+		// Bucket reuse rate (§6.3 reports 88% on average).
+		if gpPol, ok := gp.(*core.GuestPolicy); ok {
+			b := gpPol.Bucket()
+			if b.Taken > 0 {
+				res.BucketReuseRate = float64(b.Reused) / float64(b.Taken)
+			}
+		}
+	}
+	return res
+}
+
+// runPredecessor executes the SVM workload to completion in the VM
+// and tears it down, leaving the VM "reused" (§6.3): guest memory
+// freed, EPT backing retained.
+func runPredecessor(m *machine.Machine, vm *machine.VM, cfg Config, rec *recovery) {
+	spec := workload.SVM()
+	// The predecessor's working set should dominate guest memory as
+	// the paper's ~30 GB SVM run does on a 32 GB VM.
+	spec.FootprintMB = cfg.GuestMemMB * 2 / 5
+	w := workload.New(spec, vm, cfg.Seed+303)
+	for i := 0; i < cfg.Requests/4; i++ {
+		w.Step(1)
+		if i%cfg.RequestsPerTick == 0 {
+			rec.tick(m)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		rec.tick(m)
+	}
+	w.Teardown()
+	vm.ResetGuestProcess()
+	rec.tick(m)
+}
+
+// tickAndRecover advances the daemons and lets fragmented memory
+// recover slowly, modelling background compaction and other tenants
+// freeing memory: this is what makes huge pages form asynchronously
+// (and so largely independently at the two layers) rather than all at
+// first touch.
+type recovery struct {
+	fragmenters []*frag.Fragmenter
+	every       int
+	ticks       int
+}
+
+func (r *recovery) tick(m *machine.Machine) {
+	m.Tick()
+	r.ticks++
+	if r.every <= 0 || r.ticks%r.every != 0 {
+		return
+	}
+	for _, f := range r.fragmenters {
+		f.ReleaseRegions(1)
+	}
+}
+
+// runWorkload performs warmup and measurement of one workload in one
+// VM, collecting the run's metrics.
+func runWorkload(m *machine.Machine, vm *machine.VM, spec workload.Spec, cfg Config, rec *recovery) Result {
+	w := workload.New(spec, vm, cfg.Seed+404)
+	migBase := vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages
+
+	// Warmup: reach steady state (huge pages formed, TLB warm). The
+	// daemons tick densely here so promotion bursts complete before
+	// measurement, as they would over a long real run.
+	for i := 0; i < cfg.WarmupRequests; i++ {
+		w.Step(1)
+		if i%cfg.RequestsPerTick == 0 {
+			rec.tick(m)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		rec.tick(m)
+	}
+	vm.TLB.ResetStats()
+
+	// Measurement.
+	lat := metrics.NewHistogram()
+	var fgCycles, ops, accesses uint64
+	bgStart := vm.Guest.Stats.BackgroundCycles + vm.EPT.Stats.BackgroundCycles
+	for i := 0; i < cfg.Requests; i++ {
+		st := w.Step(1)
+		fgCycles += st.Cycles
+		ops += st.Ops
+		accesses += uint64(spec.RequestPages)
+		for _, l := range st.Latencies {
+			lat.Record(l)
+		}
+		if i%cfg.RequestsPerTick == 0 {
+			rec.tick(m)
+		}
+	}
+	bg := vm.Guest.Stats.BackgroundCycles + vm.EPT.Stats.BackgroundCycles - bgStart
+
+	ts := vm.TLB.Stats()
+	a := vm.Alignment()
+	// Daemons run on spare cores: their interference reaches the
+	// workload through the stalls already charged into step cycles
+	// (shootdowns, cache pollution), not by stealing vCPU time.
+	res := Result{
+		Workload:            spec.Name,
+		Throughput:          float64(ops) / float64(fgCycles) * 1e6,
+		TLBMissesPerKAccess: float64(ts.Misses) / float64(accesses) * 1000,
+		WalkCyclesPerAccess: float64(ts.WalkCycles) / float64(accesses),
+		AlignedRate:         a.Rate(),
+		GuestHuge:           a.GuestHuge,
+		HostHuge:            a.HostHuge,
+		GuestFMFI:           vm.Guest.Buddy.FMFI(mem.HugeOrder),
+		MigratedPages:       vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages - migBase,
+		BackgroundCycles:    bg,
+	}
+	if spec.LatencySensitive {
+		res.MeanLatency = lat.Mean()
+		res.P99Latency = lat.P99()
+	}
+	return res
+}
+
+// ColocatedConfig describes the §6.5 setting: two VMs on one host.
+type ColocatedConfig struct {
+	System     System
+	WorkloadA  workload.Spec
+	WorkloadB  workload.Spec
+	Fragmented bool
+	GuestMemMB int
+	HostMemMB  int
+	Requests   int
+	Seed       int64
+}
+
+// RunColocated runs two VMs side by side, interleaving their request
+// streams, and returns per-VM results.
+func RunColocated(cc ColocatedConfig) (Result, Result) {
+	if cc.GuestMemMB == 0 {
+		cc.GuestMemMB = 768
+	}
+	if cc.HostMemMB == 0 {
+		cc.HostMemMB = 2560
+	}
+	if cc.Requests == 0 {
+		cc.Requests = 4000
+	}
+	hostPages := uint64(cc.HostMemMB) << 20 >> mem.PageShift
+	guestPages := uint64(cc.GuestMemMB) << 20 >> mem.PageShift
+	m := machine.NewMachine(hostPages, machine.DefaultCosts())
+
+	gpA, hpA, gemA := buildPolicies(cc.System)
+	vmA := m.AddVM(guestPages, gpA, hpA, tlb.DefaultConfig())
+	if gemA != nil {
+		gemA.Attach(vmA)
+	}
+	gpB, hpB, gemB := buildPolicies(cc.System)
+	vmB := m.AddVM(guestPages, gpB, hpB, tlb.DefaultConfig())
+	if gemB != nil {
+		gemB.Attach(vmB)
+	}
+	var fragmenters []*frag.Fragmenter
+	if cc.Fragmented {
+		for i, b := range []*buddy.Allocator{m.HostBuddy, vmA.Guest.Buddy, vmB.Guest.Buddy} {
+			f := frag.New(b, cc.Seed+11+int64(i))
+			f.FragmentTo(0.9, 0.4)
+			fragmenters = append(fragmenters, f)
+		}
+	}
+	rec := &recovery{fragmenters: fragmenters, every: 1}
+	wA := workload.New(cc.WorkloadA, vmA, cc.Seed+21)
+	wB := workload.New(cc.WorkloadB, vmB, cc.Seed+22)
+
+	// Same run structure as single-VM experiments: warmup to steady
+	// state, settle ticks so promotion bursts complete, then measure.
+	for i := 0; i < cc.Requests; i++ {
+		wA.Step(1)
+		wB.Step(1)
+		if i%64 == 0 {
+			rec.tick(m)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		rec.tick(m)
+	}
+	vmA.TLB.ResetStats()
+	vmB.TLB.ResetStats()
+
+	latA, latB := metrics.NewHistogram(), metrics.NewHistogram()
+	var fgA, fgB, opsA, opsB, accA, accB uint64
+	bgA0 := vmA.Guest.Stats.BackgroundCycles + vmA.EPT.Stats.BackgroundCycles
+	bgB0 := vmB.Guest.Stats.BackgroundCycles + vmB.EPT.Stats.BackgroundCycles
+	for i := 0; i < cc.Requests; i++ {
+		sa := wA.Step(1)
+		sb := wB.Step(1)
+		fgA += sa.Cycles
+		fgB += sb.Cycles
+		opsA += sa.Ops
+		opsB += sb.Ops
+		accA += uint64(cc.WorkloadA.RequestPages)
+		accB += uint64(cc.WorkloadB.RequestPages)
+		for _, l := range sa.Latencies {
+			latA.Record(l)
+		}
+		for _, l := range sb.Latencies {
+			latB.Record(l)
+		}
+		if i%64 == 0 {
+			rec.tick(m)
+		}
+	}
+	bgA := vmA.Guest.Stats.BackgroundCycles + vmA.EPT.Stats.BackgroundCycles - bgA0
+	bgB := vmB.Guest.Stats.BackgroundCycles + vmB.EPT.Stats.BackgroundCycles - bgB0
+
+	mk := func(vm *machine.VM, spec workload.Spec, fg, bg, ops, acc uint64, lat *metrics.Histogram) Result {
+		ts := vm.TLB.Stats()
+		al := vm.Alignment()
+		r := Result{
+			System:              cc.System.String(),
+			Workload:            spec.Name,
+			Throughput:          float64(ops) / float64(fg+bg) * 1e6,
+			TLBMissesPerKAccess: float64(ts.Misses) / float64(acc) * 1000,
+			WalkCyclesPerAccess: float64(ts.WalkCycles) / float64(acc),
+			AlignedRate:         al.Rate(),
+			GuestHuge:           al.GuestHuge,
+			HostHuge:            al.HostHuge,
+			GuestFMFI:           vm.Guest.Buddy.FMFI(mem.HugeOrder),
+			BackgroundCycles:    bg,
+		}
+		if spec.LatencySensitive {
+			r.MeanLatency = lat.Mean()
+			r.P99Latency = lat.P99()
+		}
+		return r
+	}
+	return mk(vmA, cc.WorkloadA, fgA, bgA, opsA, accA, latA),
+		mk(vmB, cc.WorkloadB, fgB, bgB, opsB, accB, latB)
+}

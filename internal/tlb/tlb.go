@@ -1,0 +1,351 @@
+// Package tlb models the address-translation hardware whose behaviour
+// the paper's evaluation measures: a set-associative TLB with separate
+// 4 KiB and 2 MiB entry reach, page-walk caches, and the cost of
+// one-dimensional (native) and two-dimensional (nested paging) page
+// walks.
+//
+// The central rule (§2.2 of the paper) is encoded in how the machine
+// layer chooses the insertion kind: a 2 MiB TLB entry may be installed
+// only for a well-aligned huge page — a huge guest mapping backed by a
+// huge host mapping at the same 2 MiB boundary. A huge page at only
+// one layer is "splintered" into 4 KiB TLB entries, so it cannot reduce
+// TLB misses; it can only shorten walks.
+//
+// Walk costs follow §2.1: a native walk reads up to 4 page-table
+// entries; a nested walk reads up to (g+1)*(h+1)-1 = 24 entries for
+// 4-level tables at both layers, fewer when either layer maps the
+// address huge. Page-walk caches (one per layer, keyed by 2 MiB
+// virtual region) shortcut the upper levels, which is why huge pages
+// also reduce walk latency: their leaf entries sit one level higher
+// and are covered by the walk caches far more often.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes the TLB geometry and timing model.
+type Config struct {
+	// Sets and Ways give the unified second-level TLB geometry.
+	// The default (192 x 8 = 1536 entries) matches the paper's Xeon
+	// E5-2620 ("1536 L2 TLB entries for 4KiB/2MiB pages").
+	Sets int
+	Ways int
+	// MemRefCycles is the cost of one page-table memory reference
+	// during a walk.
+	MemRefCycles uint64
+	// HitCycles is the cost of a TLB hit.
+	HitCycles uint64
+	// PWCEntries is the number of entries in each layer's page-walk
+	// cache (direct mapped, keyed by 2 MiB virtual region).
+	PWCEntries int
+}
+
+// DefaultConfig returns the geometry used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Sets:         192,
+		Ways:         8,
+		MemRefCycles: 50,
+		HitCycles:    1,
+		PWCEntries:   16,
+	}
+}
+
+// Stats aggregates TLB behaviour over a run.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	WalkCycles  uint64 // total cycles spent in page walks
+	WalkRefs    uint64 // total page-table memory references
+	Evictions   uint64
+	Flushes     uint64 // entries removed by shootdowns
+	Insert4K    uint64
+	Insert2M    uint64
+	PWCHits     uint64
+	PWCMisses   uint64
+	NestedWalks uint64
+	NativeWalks uint64
+}
+
+// MissRate returns misses/(hits+misses), or 0 for an idle TLB.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// entry is one TLB entry. Tag is the page number (4 KiB granule) for
+// base entries or the huge-region index for huge entries.
+type entry struct {
+	tag   uint64
+	kind  mem.PageSizeKind
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+// TLB is a unified set-associative translation lookaside buffer.
+type TLB struct {
+	cfg   Config
+	sets  [][]entry
+	clock uint64
+	stats Stats
+
+	// pwcGuest and pwcHost are direct-mapped page-walk caches keyed
+	// by 2 MiB virtual (resp. guest-physical) region index.
+	pwcGuest []uint64
+	pwcHost  []uint64
+}
+
+// New creates a TLB with the given configuration.
+func New(cfg Config) *TLB {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %dx%d", cfg.Sets, cfg.Ways))
+	}
+	sets := make([][]entry, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]entry, cfg.Ways)
+	}
+	pwcSize := cfg.PWCEntries
+	if pwcSize <= 0 {
+		pwcSize = 1
+	}
+	g := make([]uint64, pwcSize)
+	h := make([]uint64, pwcSize)
+	for i := range g {
+		g[i] = ^uint64(0)
+		h[i] = ^uint64(0)
+	}
+	return &TLB{cfg: cfg, sets: sets, pwcGuest: g, pwcHost: h}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the statistics without touching TLB contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Entries returns the total entry capacity.
+func (t *TLB) Entries() int { return t.cfg.Sets * t.cfg.Ways }
+
+// tagOf computes the tag and set index for an address at a kind. The
+// set index comes from the raw page number so consecutive pages spread
+// over every set; the kind lives in the tag's low bit only, so a huge
+// tag never collides with a base tag of equal numeric value.
+func (t *TLB) tagOf(va uint64, kind mem.PageSizeKind) (tag uint64, set int) {
+	var pn uint64
+	if kind == mem.Huge {
+		pn = va >> mem.HugeShift
+	} else {
+		pn = va >> mem.PageShift
+	}
+	return pn<<1 | uint64(kind), int(pn % uint64(t.cfg.Sets))
+}
+
+// Lookup probes the TLB for a translation of va at the given kind.
+func (t *TLB) Lookup(va uint64, kind mem.PageSizeKind) bool {
+	tag, si := t.tagOf(va, kind)
+	set := t.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			t.clock++
+			set[i].lru = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs a translation of va at the given kind, evicting the
+// LRU way if the set is full.
+func (t *TLB) Insert(va uint64, kind mem.PageSizeKind) {
+	tag, si := t.tagOf(va, kind)
+	set := t.sets[si]
+	t.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = t.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			goto place
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	t.stats.Evictions++
+place:
+	set[victim] = entry{tag: tag, kind: kind, valid: true, lru: t.clock}
+	if kind == mem.Huge {
+		t.stats.Insert2M++
+	} else {
+		t.stats.Insert4K++
+	}
+}
+
+// FlushPage removes any entry translating va at either kind (a
+// single-address shootdown).
+func (t *TLB) FlushPage(va uint64) {
+	for _, kind := range []mem.PageSizeKind{mem.Base, mem.Huge} {
+		tag, si := t.tagOf(va, kind)
+		set := t.sets[si]
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				set[i].valid = false
+				t.stats.Flushes++
+			}
+		}
+	}
+}
+
+// FlushHugeRegion removes all entries covering the 2 MiB region that
+// contains va: the huge entry and every base entry within. Used when a
+// region is promoted, demoted, or migrated.
+func (t *TLB) FlushHugeRegion(va uint64) {
+	base := va &^ uint64(mem.HugeSize-1)
+	for _, kind := range []mem.PageSizeKind{mem.Huge} {
+		tag, si := t.tagOf(base, kind)
+		set := t.sets[si]
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				set[i].valid = false
+				t.stats.Flushes++
+			}
+		}
+	}
+	for p := uint64(0); p < mem.PagesPerHuge; p++ {
+		tag, si := t.tagOf(base+p*mem.PageSize, mem.Base)
+		set := t.sets[si]
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				set[i].valid = false
+				t.stats.Flushes++
+			}
+		}
+	}
+}
+
+// FlushAll empties the TLB and both walk caches (full shootdown).
+func (t *TLB) FlushAll() {
+	for si := range t.sets {
+		for i := range t.sets[si] {
+			if t.sets[si][i].valid {
+				t.sets[si][i].valid = false
+				t.stats.Flushes++
+			}
+		}
+	}
+	for i := range t.pwcGuest {
+		t.pwcGuest[i] = ^uint64(0)
+		t.pwcHost[i] = ^uint64(0)
+	}
+}
+
+// pwcProbe checks and updates a direct-mapped walk cache for the 2 MiB
+// region of addr, returning true on hit.
+func (t *TLB) pwcProbe(cache []uint64, addr uint64) bool {
+	key := addr >> mem.HugeShift
+	slot := key % uint64(len(cache))
+	if cache[slot] == key {
+		t.stats.PWCHits++
+		return true
+	}
+	cache[slot] = key
+	t.stats.PWCMisses++
+	return false
+}
+
+// NativeWalkRefs returns the page-table references for a native
+// (one-dimensional) walk of va with the given mapping kind, after
+// page-walk-cache shortcuts. A PWC hit resolves the upper levels,
+// leaving one reference (the leaf entry); a miss reads every level.
+func (t *TLB) NativeWalkRefs(va uint64, kind mem.PageSizeKind) int {
+	full := 4
+	if kind == mem.Huge {
+		full = 3
+	}
+	if t.pwcProbe(t.pwcGuest, va) {
+		return 1
+	}
+	return full
+}
+
+// NestedWalkRefs returns the page-table references of a two-dimensional
+// walk: translating va through a guest table of gKind mappings whose
+// guest-physical accesses (including the final data GPA, approximated
+// by gpa) are translated through a host table of hKind mappings.
+//
+// Without caches the cost is (g+1)*(h+1)-1 references (24 for 4+4
+// levels, §2.1). The guest walk cache shortcuts the guest dimension
+// and the host (nested) walk cache shortcuts each host sub-walk.
+func (t *TLB) NestedWalkRefs(va uint64, gKind mem.PageSizeKind, gpa uint64, hKind mem.PageSizeKind) int {
+	gSteps := 4
+	if gKind == mem.Huge {
+		gSteps = 3
+	}
+	if t.pwcProbe(t.pwcGuest, va) {
+		gSteps = 1
+	}
+	hSteps := 4
+	if hKind == mem.Huge {
+		hSteps = 3
+	}
+	if t.pwcProbe(t.pwcHost, gpa) {
+		hSteps = 1
+	}
+	// gSteps guest-entry reads, each preceded by a host sub-walk of
+	// hSteps refs, plus the final host walk for the data GPA.
+	return gSteps*(hSteps+1) + hSteps
+}
+
+// AccessResult describes the outcome of one translated memory access.
+type AccessResult struct {
+	Cycles uint64
+	Miss   bool
+	Refs   int
+}
+
+// AccessNative performs one native-mode translation: probe, and on a
+// miss charge a one-dimensional walk and install an entry of the
+// mapping kind.
+func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
+	if t.Lookup(va, kind) {
+		t.stats.Hits++
+		return AccessResult{Cycles: t.cfg.HitCycles}
+	}
+	t.stats.Misses++
+	t.stats.NativeWalks++
+	refs := t.NativeWalkRefs(va, kind)
+	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
+	t.stats.WalkRefs += uint64(refs)
+	t.stats.WalkCycles += cycles
+	t.Insert(va, kind)
+	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
+}
+
+// AccessNested performs one virtualized translation. effKind is the
+// TLB-entry kind permitted by the alignment rule: Huge only when the
+// guest maps va huge AND the host maps the region huge at the same
+// boundary; Base otherwise. gKind and hKind are the actual per-layer
+// mapping kinds, which determine walk length on a miss.
+func (t *TLB) AccessNested(va uint64, effKind, gKind, hKind mem.PageSizeKind, gpa uint64) AccessResult {
+	if t.Lookup(va, effKind) {
+		t.stats.Hits++
+		return AccessResult{Cycles: t.cfg.HitCycles}
+	}
+	t.stats.Misses++
+	t.stats.NestedWalks++
+	refs := t.NestedWalkRefs(va, gKind, gpa, hKind)
+	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
+	t.stats.WalkRefs += uint64(refs)
+	t.stats.WalkCycles += cycles
+	t.Insert(va, effKind)
+	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
+}

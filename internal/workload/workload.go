@@ -1,0 +1,404 @@
+// Package workload generates memory access streams modelling the
+// applications in Table 2 of the paper (TailBench latency-critical
+// services, key/value stores, transactional databases, PARSEC and NPB
+// kernels, SPEC 429.mcf, and SVM training). Real binaries cannot run
+// against a simulated MMU, so each application is modelled by the
+// axes that drive the paper's results:
+//
+//   - memory footprint and how it is reached (static upfront arrays
+//     vs. gradual allocation with churn — the Redis/RocksDB pattern
+//     that fragments memory, §6.2);
+//   - access distribution (uniform, Zipfian, sequential, mixed);
+//   - request shape for latency-reporting workloads;
+//   - zero-page fraction (HawkEye's dedup behaviour on Specjbb);
+//   - TLB sensitivity (Shore and NPB SP.D are the paper's
+//     non-sensitive pair, §6.5).
+//
+// Generators are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Pattern is an access distribution.
+type Pattern int
+
+const (
+	// Uniform picks pages uniformly over the touched footprint.
+	Uniform Pattern = iota
+	// Zipf concentrates accesses on a hot subset.
+	Zipf
+	// Sequential streams over the footprint.
+	Sequential
+	// Mixed alternates Zipf and Uniform.
+	Mixed
+)
+
+// AllocStyle is how the footprint comes into existence.
+type AllocStyle int
+
+const (
+	// Static maps the whole footprint up front (dense arrays: SVM,
+	// CG.D, Canneal).
+	Static AllocStyle = iota
+	// Gradual grows the footprint during the run and churns VMAs
+	// (dynamic data structures: Redis, RocksDB, Xapian).
+	Gradual
+)
+
+// Spec describes one application model.
+type Spec struct {
+	// Name is the paper's workload name.
+	Name string
+	// FootprintMB is the resident set size in MiB.
+	FootprintMB int
+	// VMACount is how many VMAs the footprint spans.
+	VMACount int
+	// Style selects static or gradual allocation.
+	Style AllocStyle
+	// Access selects the access distribution.
+	Access Pattern
+	// LatencySensitive marks workloads that report request latencies.
+	LatencySensitive bool
+	// RequestPages is the number of page accesses per request.
+	RequestPages int
+	// ServiceCycles is the fixed non-memory work per request.
+	ServiceCycles uint64
+	// ZeroFraction is the share of pages that stay zero (deduplicable).
+	ZeroFraction float64
+	// TLBSensitive is false for workloads whose locality defeats TLB
+	// pressure (Shore, SP.D).
+	TLBSensitive bool
+	// ChurnRate is the expected number of VMA unmap/remap events per
+	// hundred requests (Gradual only). Arena turnover in allocators
+	// is orders of magnitude rarer than requests.
+	ChurnRate float64
+}
+
+// Pages returns the footprint in base pages.
+func (s Spec) Pages() uint64 { return uint64(s.FootprintMB) << 20 >> mem.PageShift }
+
+// Table2 returns the full workload list of the paper's Table 2 plus
+// the SVM predecessor used in reused-VM runs.
+func Table2() []Spec {
+	return []Spec{
+		ImgDNN(), Sphinx(), Moses(), Xapian(), Masstree(), Specjbb(),
+		Silo(), Shore(), RocksDB(), Redis(), Memcached(), Canneal(),
+		Streamcluster(), Dedup(), CGD(), SPD(), MCF(), SVM(),
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Table2() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	if name == "micro" {
+		return Micro(64), nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// ImgDNN models TailBench's handwriting-recognition service.
+func ImgDNN() Spec {
+	return Spec{Name: "img-dnn", FootprintMB: 160, VMACount: 3, Style: Static,
+		Access: Zipf, LatencySensitive: true, RequestPages: 24,
+		ServiceCycles: 14400, ZeroFraction: 0.05, TLBSensitive: true}
+}
+
+// Sphinx models TailBench's speech-recognition service.
+func Sphinx() Spec {
+	return Spec{Name: "sphinx", FootprintMB: 176, VMACount: 3, Style: Static,
+		Access: Zipf, LatencySensitive: true, RequestPages: 32,
+		ServiceCycles: 19200, TLBSensitive: true}
+}
+
+// Moses models TailBench's statistical machine translation service.
+func Moses() Spec {
+	return Spec{Name: "moses", FootprintMB: 144, VMACount: 4, Style: Gradual,
+		Access: Mixed, LatencySensitive: true, RequestPages: 20,
+		ServiceCycles: 12000, ChurnRate: 0.02, TLBSensitive: true}
+}
+
+// Xapian models TailBench's search engine (many small allocations).
+func Xapian() Spec {
+	return Spec{Name: "xapian", FootprintMB: 128, VMACount: 6, Style: Gradual,
+		Access: Zipf, LatencySensitive: true, RequestPages: 16,
+		ServiceCycles: 9600, ChurnRate: 0.05, TLBSensitive: true}
+}
+
+// Masstree models the in-memory key/value store (50% GET, 50% PUT).
+func Masstree() Spec {
+	return Spec{Name: "masstree", FootprintMB: 320, VMACount: 2, Style: Static,
+		Access: Uniform, LatencySensitive: true, RequestPages: 12,
+		ServiceCycles: 7200, TLBSensitive: true}
+}
+
+// Specjbb models the Java middleware benchmark. Its large population
+// of in-use zero pages is what trips HawkEye's deduplication (§6.2).
+func Specjbb() Spec {
+	return Spec{Name: "specjbb", FootprintMB: 256, VMACount: 2, Style: Static,
+		Access: Zipf, LatencySensitive: true, RequestPages: 20,
+		ServiceCycles: 12000, ZeroFraction: 0.35, TLBSensitive: true}
+}
+
+// Silo models the in-memory transactional database running TPC-C.
+func Silo() Spec {
+	return Spec{Name: "silo", FootprintMB: 256, VMACount: 2, Style: Static,
+		Access: Uniform, LatencySensitive: true, RequestPages: 16,
+		ServiceCycles: 9600, TLBSensitive: true}
+}
+
+// Shore models the on-disk transactional database: I/O bound with a
+// small hot working set, hence TLB-insensitive.
+func Shore() Spec {
+	return Spec{Name: "shore", FootprintMB: 4, VMACount: 2, Style: Static,
+		Access: Sequential, LatencySensitive: true, RequestPages: 6,
+		ServiceCycles: 20000, TLBSensitive: false}
+}
+
+// RocksDB models the LSM store serving random 50/50 SET/GET: gradual
+// growth with heavy churn that fragments memory quickly (§6.2).
+func RocksDB() Spec {
+	return Spec{Name: "rocksdb", FootprintMB: 352, VMACount: 6, Style: Gradual,
+		Access: Mixed, LatencySensitive: true, RequestPages: 14,
+		ServiceCycles: 8400, ChurnRate: 0.08, TLBSensitive: true}
+}
+
+// Redis models the in-memory store serving random 50/50 SET/GET.
+func Redis() Spec {
+	return Spec{Name: "redis", FootprintMB: 352, VMACount: 5, Style: Gradual,
+		Access: Zipf, LatencySensitive: true, RequestPages: 10,
+		ServiceCycles: 6000, ChurnRate: 0.08, TLBSensitive: true}
+}
+
+// Memcached models the slab-allocated cache.
+func Memcached() Spec {
+	return Spec{Name: "memcached", FootprintMB: 320, VMACount: 3, Style: Static,
+		Access: Uniform, LatencySensitive: true, RequestPages: 8,
+		ServiceCycles: 4800, TLBSensitive: true}
+}
+
+// Canneal models the PARSEC simulated-annealing kernel (pointer
+// chasing over a large netlist).
+func Canneal() Spec {
+	return Spec{Name: "canneal", FootprintMB: 256, VMACount: 2, Style: Static,
+		Access: Uniform, RequestPages: 32, ServiceCycles: 19200,
+		TLBSensitive: true}
+}
+
+// Streamcluster models the PARSEC streaming clustering kernel.
+func Streamcluster() Spec {
+	return Spec{Name: "streamcluster", FootprintMB: 192, VMACount: 2, Style: Static,
+		Access: Mixed, RequestPages: 32, ServiceCycles: 19200,
+		TLBSensitive: true}
+}
+
+// Dedup models the PARSEC deduplication pipeline.
+func Dedup() Spec {
+	return Spec{Name: "dedup", FootprintMB: 192, VMACount: 4, Style: Gradual,
+		Access: Mixed, RequestPages: 24, ServiceCycles: 14400,
+		ChurnRate: 0.04, TLBSensitive: true}
+}
+
+// CGD models NPB CG class D: dense static arrays, uniform sparse
+// matrix-vector access.
+func CGD() Spec {
+	return Spec{Name: "cg.d", FootprintMB: 416, VMACount: 1, Style: Static,
+		Access: Uniform, RequestPages: 48, ServiceCycles: 28800,
+		TLBSensitive: true}
+}
+
+// SPD models NPB SP class D: stencil sweeps with strong locality,
+// hence TLB-insensitive at these working-set sizes.
+func SPD() Spec {
+	return Spec{Name: "sp.d", FootprintMB: 4, VMACount: 1, Style: Static,
+		Access: Sequential, RequestPages: 48, ServiceCycles: 4000,
+		TLBSensitive: false}
+}
+
+// MCF models SPEC CPU 2006 429.mcf (network simplex, pointer heavy).
+func MCF() Spec {
+	return Spec{Name: "429.mcf", FootprintMB: 320, VMACount: 1, Style: Static,
+		Access: Uniform, RequestPages: 40, ServiceCycles: 24000,
+		TLBSensitive: true}
+}
+
+// SVM models the rank-SVM trainer: the biggest static footprint, used
+// both standalone and as the predecessor in reused-VM runs (§6.3).
+func SVM() Spec {
+	return Spec{Name: "svm", FootprintMB: 416, VMACount: 1, Style: Static,
+		Access: Uniform, RequestPages: 64, ServiceCycles: 38400,
+		TLBSensitive: true}
+}
+
+// Micro is the Figure 2 micro-benchmark: random accesses over a data
+// set of the given size.
+func Micro(footprintMB int) Spec {
+	return Spec{Name: "micro", FootprintMB: footprintMB, VMACount: 1,
+		Style: Static, Access: Uniform, RequestPages: 16,
+		ServiceCycles: 0, TLBSensitive: true}
+}
+
+// StepStats reports one measurement step.
+type StepStats struct {
+	// Ops is the number of requests completed.
+	Ops uint64
+	// Cycles is the foreground cycles consumed (memory accesses,
+	// faults, stalls, and request service time).
+	Cycles uint64
+	// Latencies holds per-request cycle counts for latency-sensitive
+	// specs (nil otherwise).
+	Latencies []float64
+}
+
+// Workload is a running instance of a Spec bound to a VM.
+type Workload struct {
+	Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	vm   *machine.VM
+
+	vmas       []*machine.VMA
+	vmaPages   uint64 // pages per VMA
+	touched    uint64 // pages faulted so far (gradual growth frontier)
+	seqCursor  uint64
+	totalPages uint64
+}
+
+// New binds a spec to a VM and performs setup: VMAs are created and,
+// for Static specs, the whole footprint is touched (the population
+// phase of a real run).
+func New(spec Spec, vm *machine.VM, seed int64) *Workload {
+	w := &Workload{
+		Spec:       spec,
+		rng:        rand.New(rand.NewSource(seed)),
+		vm:         vm,
+		totalPages: spec.Pages(),
+	}
+	if spec.VMACount < 1 {
+		w.VMACount = 1
+	}
+	w.vmaPages = w.totalPages / uint64(w.VMACount)
+	if w.vmaPages == 0 {
+		w.vmaPages = 1
+	}
+	for i := 0; i < w.VMACount; i++ {
+		// Page-but-not-huge-aligned placements, as real mmap yields.
+		off := uint64(w.rng.Intn(mem.PagesPerHuge))
+		w.vmas = append(w.vmas, vm.Guest.Space.MMap(w.vmaPages*mem.PageSize, off))
+	}
+	w.zipf = rand.NewZipf(w.rng, 1.1, 64, w.totalPages-1)
+	if w.Style == Static {
+		w.populate()
+	} else {
+		// Gradual: start with a quarter of the footprint.
+		w.growTo(w.totalPages / 4)
+	}
+	return w
+}
+
+// populate touches every page once (sequential first-touch).
+func (w *Workload) populate() { w.growTo(w.totalPages) }
+
+// growTo extends the touched frontier to n pages.
+func (w *Workload) growTo(n uint64) {
+	if n > w.totalPages {
+		n = w.totalPages
+	}
+	for ; w.touched < n; w.touched++ {
+		w.vm.Access(w.addrOf(w.touched))
+	}
+}
+
+// addrOf maps a footprint page index to a guest virtual address.
+func (w *Workload) addrOf(page uint64) uint64 {
+	v := w.vmas[page/w.vmaPages%uint64(len(w.vmas))]
+	return v.Start + (page%w.vmaPages)*mem.PageSize
+}
+
+// nextPage draws a page index from the access distribution, confined
+// to the touched frontier.
+func (w *Workload) nextPage() uint64 {
+	limit := w.touched
+	if limit == 0 {
+		limit = 1
+	}
+	switch w.Access {
+	case Uniform:
+		return uint64(w.rng.Int63n(int64(limit)))
+	case Zipf:
+		return w.zipf.Uint64() % limit
+	case Sequential:
+		w.seqCursor++
+		return w.seqCursor % limit
+	default: // Mixed
+		if w.rng.Intn(2) == 0 {
+			return w.zipf.Uint64() % limit
+		}
+		return uint64(w.rng.Int63n(int64(limit)))
+	}
+}
+
+// churn unmaps one VMA and remaps it elsewhere, modelling allocator
+// churn in dynamic workloads. Touched state within the VMA resets.
+func (w *Workload) churn() {
+	i := w.rng.Intn(len(w.vmas))
+	old := w.vmas[i]
+	w.vm.Guest.UnmapVMA(old)
+	off := uint64(w.rng.Intn(mem.PagesPerHuge))
+	w.vmas[i] = w.vm.Guest.Space.MMap(w.vmaPages*mem.PageSize, off)
+	// Repopulate the replacement up to the frontier share.
+	share := w.touched / uint64(len(w.vmas))
+	for p := uint64(0); p < share && p < w.vmaPages; p++ {
+		w.vm.Access(w.vmas[i].Start + p*mem.PageSize)
+	}
+}
+
+// Step runs the given number of requests and reports their cost.
+func (w *Workload) Step(requests int) StepStats {
+	var st StepStats
+	if w.LatencySensitive {
+		st.Latencies = make([]float64, 0, requests)
+	}
+	for r := 0; r < requests; r++ {
+		var reqCycles uint64 = w.ServiceCycles
+		for a := 0; a < w.RequestPages; a++ {
+			page := w.nextPage()
+			reqCycles += w.vm.Access(w.addrOf(page))
+		}
+		st.Ops++
+		st.Cycles += reqCycles
+		if w.LatencySensitive {
+			st.Latencies = append(st.Latencies, float64(reqCycles))
+		}
+		if w.Style == Gradual {
+			// Grow ~one page per request until the footprint is full.
+			if w.touched < w.totalPages {
+				w.growTo(w.touched + 2)
+			}
+			if w.ChurnRate > 0 && w.rng.Float64() < w.ChurnRate/100 {
+				w.churn()
+			}
+		}
+	}
+	return st
+}
+
+// Teardown unmaps the workload's VMAs (process exit).
+func (w *Workload) Teardown() {
+	for _, v := range w.vmas {
+		w.vm.Guest.UnmapVMA(v)
+	}
+	w.vmas = nil
+}
+
+// Touched returns the current touched-page frontier.
+func (w *Workload) Touched() uint64 { return w.touched }

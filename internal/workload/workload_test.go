@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// basePol is a minimal base-page policy for tests.
+type basePol struct{}
+
+func (basePol) Name() string { return "base" }
+func (basePol) OnFault(*machine.Layer, uint64, *machine.VMA) machine.Decision {
+	return machine.Decision{Kind: mem.Base}
+}
+func (basePol) Tick(*machine.Layer) {}
+
+func newVM(t *testing.T, guestMB int) *machine.VM {
+	t.Helper()
+	m := machine.NewMachine(uint64(guestMB*3)<<20>>mem.PageShift, machine.DefaultCosts())
+	return m.AddVM(uint64(guestMB)<<20>>mem.PageShift, basePol{}, basePol{}, tlb.DefaultConfig())
+}
+
+func TestTable2Complete(t *testing.T) {
+	specs := Table2()
+	if len(specs) != 18 {
+		t.Fatalf("Table2 has %d specs", len(specs))
+	}
+	seen := map[string]bool{}
+	var sensitive, insensitive int
+	for _, s := range specs {
+		if s.Name == "" || s.FootprintMB <= 0 || s.RequestPages <= 0 {
+			t.Errorf("bad spec: %+v", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.TLBSensitive {
+			sensitive++
+		} else {
+			insensitive++
+		}
+		if s.Pages() != uint64(s.FootprintMB)*256 {
+			t.Errorf("%s: Pages = %d", s.Name, s.Pages())
+		}
+	}
+	// Shore and SP.D are the paper's non-TLB-sensitive pair.
+	if insensitive != 2 {
+		t.Errorf("non-TLB-sensitive count = %d, want 2", insensitive)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("redis")
+	if err != nil || s.Name != "redis" {
+		t.Fatalf("ByName(redis) = %+v, %v", s, err)
+	}
+	if _, err := ByName("micro"); err != nil {
+		t.Fatalf("ByName(micro): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}
+
+func TestStaticPopulates(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Micro(16) // 16 MiB = 4096 pages
+	w := New(spec, vm, 1)
+	if w.Touched() != spec.Pages() {
+		t.Fatalf("touched = %d, want %d", w.Touched(), spec.Pages())
+	}
+	if vm.Guest.Table.Mapped4K() != spec.Pages() {
+		t.Fatalf("mapped = %d", vm.Guest.Table.Mapped4K())
+	}
+}
+
+func TestGradualGrows(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Xapian()
+	spec.FootprintMB = 32
+	w := New(spec, vm, 2)
+	start := w.Touched()
+	if start >= spec.Pages() {
+		t.Fatalf("gradual started fully populated: %d", start)
+	}
+	for i := 0; i < 50; i++ {
+		w.Step(20)
+	}
+	if w.Touched() <= start {
+		t.Fatal("gradual never grew")
+	}
+}
+
+func TestStepStats(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Masstree()
+	spec.FootprintMB = 16
+	w := New(spec, vm, 3)
+	st := w.Step(10)
+	if st.Ops != 10 {
+		t.Fatalf("Ops = %d", st.Ops)
+	}
+	if st.Cycles < 10*spec.ServiceCycles {
+		t.Fatalf("Cycles = %d below service floor", st.Cycles)
+	}
+	if len(st.Latencies) != 10 {
+		t.Fatalf("Latencies = %d", len(st.Latencies))
+	}
+	for _, l := range st.Latencies {
+		if l < float64(spec.ServiceCycles) {
+			t.Fatalf("latency %v below service time", l)
+		}
+	}
+}
+
+func TestThroughputWorkloadNoLatencies(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Canneal()
+	spec.FootprintMB = 16
+	w := New(spec, vm, 4)
+	st := w.Step(5)
+	if st.Latencies != nil {
+		t.Fatal("throughput workload recorded latencies")
+	}
+	if st.Ops != 5 {
+		t.Fatalf("Ops = %d", st.Ops)
+	}
+}
+
+func TestChurnRemapsVMAs(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Redis()
+	spec.FootprintMB = 32
+	spec.ChurnRate = 5 // force frequent churn
+	w := New(spec, vm, 5)
+	before := make([]*machine.VMA, len(w.vmas))
+	copy(before, w.vmas)
+	for i := 0; i < 60; i++ {
+		w.Step(10)
+	}
+	changed := false
+	for i := range before {
+		if before[i] != w.vmas[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("churn never replaced a VMA")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (uint64, uint64) {
+		vm := newVM(t, 256)
+		spec := RocksDB()
+		spec.FootprintMB = 32
+		w := New(spec, vm, 42)
+		var cycles, ops uint64
+		for i := 0; i < 20; i++ {
+			st := w.Step(10)
+			cycles += st.Cycles
+			ops += st.Ops
+		}
+		return cycles, ops
+	}
+	c1, o1 := runOnce()
+	c2, o2 := runOnce()
+	if c1 != c2 || o1 != o2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", c1, o1, c2, o2)
+	}
+}
+
+func TestTeardownFreesMemory(t *testing.T) {
+	vm := newVM(t, 256)
+	total := vm.Guest.Buddy.FreePages()
+	spec := Micro(16)
+	w := New(spec, vm, 6)
+	w.Teardown()
+	if vm.Guest.Buddy.FreePages() != total {
+		t.Fatalf("pages leaked: %d != %d", vm.Guest.Buddy.FreePages(), total)
+	}
+	if len(vm.Guest.Space.VMAs()) != 0 {
+		t.Fatal("VMAs survived teardown")
+	}
+}
+
+func TestAccessDistributions(t *testing.T) {
+	for _, pat := range []Pattern{Uniform, Zipf, Sequential, Mixed} {
+		vm := newVM(t, 256)
+		spec := Micro(16)
+		spec.Access = pat
+		w := New(spec, vm, 7)
+		// All drawn pages must be inside the footprint.
+		for i := 0; i < 1000; i++ {
+			p := w.nextPage()
+			if p >= spec.Pages() {
+				t.Fatalf("pattern %d: page %d out of range", pat, p)
+			}
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Micro(64)
+	spec.Access = Zipf
+	w := New(spec, vm, 8)
+	counts := map[uint64]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[w.nextPage()]++
+	}
+	// The hottest 1% of pages should absorb a large share.
+	hot := 0
+	for p, c := range counts {
+		if p < spec.Pages()/100 {
+			hot += c
+		}
+	}
+	if float64(hot)/draws < 0.18 {
+		t.Fatalf("zipf hot share = %.2f, want skew", float64(hot)/draws)
+	}
+}
+
+func TestTinyFootprintManyVMAs(t *testing.T) {
+	vm := newVM(t, 256)
+	spec := Micro(1)
+	spec.VMACount = 8
+	w := New(spec, vm, 9)
+	w.Step(5) // must not panic
+}
