@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestAuditedGeminiRun drives the paper's headline setting — Gemini on
+// fragmented memory, clean slate — with the full cross-layer invariant
+// audit enabled. sim.Run panics on the first violation, so completing
+// is the assertion: every audit over the whole run found the buddy
+// allocator, page tables, TLB, and coordinator mutually consistent.
+func TestAuditedGeminiRun(t *testing.T) {
+	cfg := sim.Config{
+		System:     sim.Gemini,
+		Workload:   workload.Redis(),
+		Fragmented: true,
+		Requests:   1000,
+		Audit:      true,
+		AuditEvery: 8,
+		Seed:       7,
+	}
+	cfg.Workload.FootprintMB /= 2
+	res := sim.Run(cfg)
+	if res.Throughput <= 0 {
+		t.Fatalf("audited run produced no throughput: %+v", res)
+	}
+}
+
+// TestAuditedColocatedRun exercises the two-VM consolidation path
+// (shared host allocator, two coordinators) under the same audit.
+func TestAuditedColocatedRun(t *testing.T) {
+	a, b := workload.Specjbb(), workload.Shore()
+	a.FootprintMB /= 4
+	b.FootprintMB /= 4
+	ra, rb := sim.RunColocated(sim.ColocatedConfig{
+		System: sim.Gemini, WorkloadA: a, WorkloadB: b,
+		Fragmented: true, Requests: 600,
+		Audit: true, AuditEvery: 8, Seed: 7,
+	})
+	if ra.Throughput <= 0 || rb.Throughput <= 0 {
+		t.Fatalf("audited collocated run produced no throughput: %+v / %+v", ra, rb)
+	}
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated]
-//	           [-quick] [-seed 1] [-parallel N]
+//	           [-quick] [-seed 1] [-parallel N] [-audit]
 package main
 
 import (
@@ -24,9 +24,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale (half footprints, fewer requests)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	auditRuns := flag.Bool("audit", false, "run the cross-layer invariant audit during every run (slower; fails loudly on corruption)")
 	flag.Parse()
 
-	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel, Audit: *auditRuns}
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
 			return

@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// determinismCases are the (system × workload) pairs locked by both the
+// double-run test and the golden snapshot. They span the coordinated
+// system, the guest-only baseline, and a host-side system, on three
+// workloads with different access skews.
+func determinismCases() []sim.Config {
+	cases := []struct {
+		system sim.System
+		spec   workload.Spec
+	}{
+		{sim.Gemini, workload.Redis()},
+		{sim.THP, workload.Canneal()},
+		{sim.HawkEye, workload.Specjbb()},
+	}
+	cfgs := make([]sim.Config, 0, len(cases))
+	for _, c := range cases {
+		spec := c.spec
+		spec.FootprintMB /= 4
+		cfgs = append(cfgs, sim.Config{
+			System:     c.system,
+			Workload:   spec,
+			Fragmented: true,
+			Requests:   400,
+			Seed:       42,
+		})
+	}
+	return cfgs
+}
+
+// TestRunDeterminism locks the simulator's seed contract: two runs of
+// the same configuration must agree on every Result field, bit for bit.
+// Result is a flat struct of scalars, so DeepEqual is exact identity.
+func TestRunDeterminism(t *testing.T) {
+	for _, cfg := range determinismCases() {
+		cfg := cfg
+		name := fmt.Sprintf("%s/%s", cfg.System, cfg.Workload.Name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			first := sim.Run(cfg)
+			second := sim.Run(cfg)
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("same seed, different results:\n  first:  %+v\n  second: %+v", first, second)
+			}
+		})
+	}
+}
+
+// TestGoldenQuickSnapshot pins the exact quick-mode numbers for the
+// determinism cases. Any change to allocation order, RNG consumption,
+// or policy arithmetic shows up as a golden diff; regenerate with
+//
+//	go test -run TestGoldenQuickSnapshot -update .
+//
+// after confirming the behavior change is intended.
+func TestGoldenQuickSnapshot(t *testing.T) {
+	var b strings.Builder
+	for _, cfg := range determinismCases() {
+		r := sim.Run(cfg)
+		fmt.Fprintf(&b, "%+v\n", r)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "golden_quick.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("quick-mode results drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s"+
+			"If the change is intended, regenerate with -update.", got, want)
+	}
+}

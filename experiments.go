@@ -27,6 +27,31 @@ type Options struct {
 	Quick bool
 	// Parallel bounds concurrent runs (default: GOMAXPROCS).
 	Parallel int
+	// Audit enables the cross-layer invariant audit in every run
+	// (sim.Config.Audit): periodic full audits plus one at completion,
+	// panicking with a report on the first violation.
+	Audit bool
+}
+
+// Validate reports whether the options are usable. Experiment
+// functions panic on invalid options; callers wanting an error should
+// Validate first.
+func (o Options) Validate() error {
+	if o.Seed < 0 {
+		return fmt.Errorf("repro: negative seed %d", o.Seed)
+	}
+	if o.Requests < 0 {
+		return fmt.Errorf("repro: negative request count %d", o.Requests)
+	}
+	if o.Parallel < 0 {
+		return fmt.Errorf("repro: negative parallelism %d", o.Parallel)
+	}
+	for _, name := range o.Workloads {
+		if _, err := workload.ByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (o Options) seed() int64 {
@@ -121,6 +146,9 @@ func forEach(n, parallel int, fn func(i int)) {
 // throughput across data-set sizes for the four page-size
 // configurations.
 func Figure2(o Options) []MicroResult {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	sizes := []int{4, 8, 16, 32, 64, 128, 256}
 	if o.Quick {
 		sizes = []int{4, 32, 128}
@@ -168,6 +196,9 @@ type CleanSlateRow struct {
 // workload across all eight systems, with and without fragmentation,
 // in a fresh VM.
 func CleanSlate(o Options) []CleanSlateRow {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	specs := o.specs(tlbSensitiveSpecs())
 	systems := Systems()
 	type job struct {
@@ -188,7 +219,7 @@ func CleanSlate(o Options) []CleanSlateRow {
 		j := jobs[i]
 		cfg := Config{
 			System: j.sys, Workload: j.spec, Fragmented: j.frag,
-			Requests: o.requests(), Seed: o.seed(),
+			Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
 		}
 		out[i] = CleanSlateRow{Fragmented: j.frag, Result: sim.Run(cfg)}
 	})
@@ -219,6 +250,9 @@ func Breakdown(o Options) []Result {
 // sweep runs every (workload, system) pair with the given config
 // mutation applied.
 func sweep(o Options, specs []workload.Spec, systems []System, mut func(*Config)) []Result {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	type job struct {
 		spec workload.Spec
 		sys  System
@@ -233,7 +267,7 @@ func sweep(o Options, specs []workload.Spec, systems []System, mut func(*Config)
 	forEach(len(jobs), o.parallel(), func(i int) {
 		cfg := Config{
 			System: jobs[i].sys, Workload: jobs[i].spec,
-			Requests: o.requests(), Seed: o.seed(),
+			Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
 		}
 		mut(&cfg)
 		out[i] = sim.Run(cfg)
@@ -250,6 +284,9 @@ type ColocatedRow struct {
 // on one host, including the non-TLB-sensitive pair (Shore, SP.D)
 // that bounds Gemini's overhead.
 func Colocated(o Options) map[string][]ColocatedRow {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	pairs := []struct{ a, b workload.Spec }{
 		{workload.Masstree(), workload.SPD()},
 		{workload.Specjbb(), workload.Shore()},
@@ -281,7 +318,7 @@ func Colocated(o Options) map[string][]ColocatedRow {
 		ra, rb := sim.RunColocated(sim.ColocatedConfig{
 			System: j.sys, WorkloadA: a, WorkloadB: b,
 			Fragmented: true,
-			Requests:   o.requests(), Seed: o.seed(),
+			Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
 		})
 		results[i] = ColocatedRow{A: ra, B: rb}
 	})

@@ -1,0 +1,60 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeAuditable []Violation
+
+func (f fakeAuditable) CheckInvariants() []Violation { return f }
+
+func TestRunSkipsNilAndConcatenates(t *testing.T) {
+	a := fakeAuditable{Violationf("buddy", "conservation", 0x10, "off by %d", 1)}
+	b := fakeAuditable{Violationf("tlb", "set-index", 0x20, "wrong set")}
+	got := Run(a, nil, b)
+	if len(got) != 2 || got[0].Layer != "buddy" || got[1].Layer != "tlb" {
+		t.Fatalf("Run = %v", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violationf("pagetable", "rmap-inverse", 0x2a, "frame %d lost", 7)
+	s := v.String()
+	for _, want := range []string{"pagetable", "rmap-inverse", "0x2a", "frame 7 lost"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	vs := []Violation{{Layer: "guest", Invariant: "x"}}
+	got := Prefix(vs, "vm0/")
+	if got[0].Layer != "vm0/guest" {
+		t.Fatalf("Prefix = %q", got[0].Layer)
+	}
+	if vs[0].Layer != "guest" {
+		t.Fatal("Prefix mutated its input")
+	}
+	if Prefix(nil, "vm0/") != nil {
+		t.Fatal("Prefix of empty should be nil")
+	}
+}
+
+func TestReportAndHas(t *testing.T) {
+	if Report(nil) != "" {
+		t.Fatal("Report of no violations should be empty")
+	}
+	vs := []Violation{
+		Violationf("a", "one", 1, "x"),
+		Violationf("b", "two", 2, "y"),
+	}
+	r := Report(vs)
+	if !strings.HasPrefix(r, "2 invariant violation(s):") {
+		t.Fatalf("Report = %q", r)
+	}
+	if !Has(vs, "one") || !Has(vs, "two") || Has(vs, "three") {
+		t.Fatal("Has misbehaves")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/mem"
 )
 
@@ -86,6 +87,12 @@ func (r *Reservation) Start() uint64 { return r.HugeIndex * mem.PagesPerHuge }
 
 // Allocated returns how many pages of the reservation have been claimed.
 func (r *Reservation) Allocated() int { return r.nAllocated }
+
+// Claimed reports whether page i (0..511) of the reservation has been
+// handed out.
+func (r *Reservation) Claimed(i int) bool {
+	return i >= 0 && i < mem.PagesPerHuge && r.allocated[i]
+}
 
 // Allocator is a binary buddy allocator over a contiguous range of
 // frames [0, TotalPages).
@@ -274,6 +281,23 @@ func (a *Allocator) IsFree(frame uint64, order int) bool {
 	return ok
 }
 
+// FrameFree reports whether the single frame sits inside any free
+// block, regardless of alignment or reservations. The cross-layer
+// auditor uses it to detect frames that are simultaneously mapped and
+// free (a use-after-free or leak in the making).
+func (a *Allocator) FrameFree(frame uint64) bool {
+	if frame >= a.totalPages {
+		return false
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		start := frame &^ ((uint64(1) << o) - 1)
+		if fo, ok := a.free[start]; ok && fo == uint8(o) {
+			return true
+		}
+	}
+	return false
+}
+
 // Free returns the block [frame, frame+2^order) to the allocator,
 // merging with free buddies as far as possible.
 func (a *Allocator) Free(frame uint64, order int) {
@@ -364,6 +388,15 @@ func (a *Allocator) ReservationAt(hugeIndex uint64) (*Reservation, bool) {
 
 // ReservationCount returns the number of active reservations.
 func (a *Allocator) ReservationCount() int { return len(a.reservations) }
+
+// ForEachReservation calls fn with every active reservation, in
+// unspecified order. The auditors use it to cross-check bookkeeping
+// held outside the allocator.
+func (a *Allocator) ForEachReservation(fn func(r *Reservation)) {
+	for _, r := range a.reservations {
+		fn(r)
+	}
+}
 
 // AllocReservedPage claims one base page inside a reservation. The
 // frame must lie inside the reserved region and be unclaimed.
@@ -525,50 +558,148 @@ func sortUint64(s []uint64) {
 	}
 }
 
-// CheckInvariants validates internal consistency; used by tests. It
-// verifies that free blocks are aligned, disjoint, within bounds, that
-// counts match, and that freePages equals the sum of free block sizes.
-func (a *Allocator) CheckInvariants() error {
+// auditLayer labels buddy violations in audit reports.
+const auditLayer = "buddy"
+
+// CheckInvariants recomputes the allocator's invariants from scratch
+// and reports every discrepancy against the incremental bookkeeping:
+//
+//   - free blocks are order-aligned, in bounds, and disjoint;
+//   - per-order counts and freePages match a recount of the free map
+//     (block conservation: free + allocated + reserved == total, with
+//     allocated implicitly total minus the other two);
+//   - every live free block is reachable through its order's heap, so
+//     targeted and untargeted allocation agree on what is free;
+//   - reserved regions are wholly withdrawn from the free lists, and
+//     each reservation's claim bitmap matches its claim counter;
+//   - FMFI computed from the incremental counters matches an FMFI
+//     recomputed from the free map alone.
+func (a *Allocator) CheckInvariants() []audit.Violation {
+	var vs []audit.Violation
 	var sum uint64
 	var counts [NumOrders]uint64
 	type span struct{ start, end uint64 }
 	spans := make([]span, 0, len(a.free))
 	for start, o := range a.free {
 		size := uint64(1) << o
+		if int(o) > MaxOrder {
+			vs = append(vs, audit.Violationf(auditLayer, "block-order", start,
+				"free block has order %d > MaxOrder %d", o, MaxOrder))
+			continue
+		}
 		if start%size != 0 {
-			return fmt.Errorf("block %#x order %d misaligned", start, o)
+			vs = append(vs, audit.Violationf(auditLayer, "block-alignment", start,
+				"free block of order %d not aligned to %d frames", o, size))
 		}
 		if start+size > a.totalPages {
-			return fmt.Errorf("block %#x order %d out of range", start, o)
+			vs = append(vs, audit.Violationf(auditLayer, "block-bounds", start,
+				"free block of order %d ends at %#x past total %#x",
+				o, start+size, a.totalPages))
 		}
 		sum += size
 		counts[o]++
 		spans = append(spans, span{start, start + size})
 	}
 	if sum != a.freePages {
-		return fmt.Errorf("freePages %d != sum of blocks %d", a.freePages, sum)
+		vs = append(vs, audit.Violationf(auditLayer, "conservation", 0,
+			"freePages counter %d != %d frames summed over free blocks",
+			a.freePages, sum))
 	}
 	for o := range counts {
 		if counts[o] != a.counts[o] {
-			return fmt.Errorf("order %d count %d != tracked %d", o, counts[o], a.counts[o])
+			vs = append(vs, audit.Violationf(auditLayer, "free-count", uint64(o),
+				"order %d holds %d free blocks but counter says %d",
+				o, counts[o], a.counts[o]))
 		}
 	}
-	// Overlap check.
+	// Disjointness of free blocks.
 	ss := make([]uint64, len(spans))
 	for i, sp := range spans {
 		ss[i] = sp.start
 	}
 	sortUint64(ss)
-	starts := map[uint64]uint64{}
+	starts := make(map[uint64]uint64, len(spans))
 	for _, sp := range spans {
 		starts[sp.start] = sp.end
 	}
 	var prevEnd uint64
 	for _, s := range ss {
 		if s < prevEnd {
-			return fmt.Errorf("overlapping free blocks at %#x", s)
+			vs = append(vs, audit.Violationf(auditLayer, "block-overlap", s,
+				"free block overlaps the preceding block ending at %#x", prevEnd))
 		}
 		prevEnd = starts[s]
 	}
-	return nil
+	// Heap reachability: every live free block must appear in its
+	// order's heap (stale extra entries are fine, missing ones are not
+	// — Alloc would never find the block).
+	for o := 0; o <= MaxOrder; o++ {
+		if a.counts[o] == 0 {
+			continue
+		}
+		inHeap := make(map[uint64]bool, len(a.heaps[o]))
+		for _, s := range a.heaps[o] {
+			inHeap[s] = true
+		}
+		for start, fo := range a.free {
+			if int(fo) == o && !inHeap[start] {
+				vs = append(vs, audit.Violationf(auditLayer, "heap-membership", start,
+					"free order-%d block missing from its allocation heap", o))
+			}
+		}
+	}
+	// Reservations: in bounds, withdrawn from the free lists, claim
+	// bitmap consistent with the claim counter.
+	for hi, r := range a.reservations {
+		if r.HugeIndex != hi {
+			vs = append(vs, audit.Violationf(auditLayer, "reservation-key", hi,
+				"reservation stored under index %d records index %d", hi, r.HugeIndex))
+		}
+		start := r.Start()
+		if start+mem.PagesPerHuge > a.totalPages {
+			vs = append(vs, audit.Violationf(auditLayer, "reservation-bounds", start,
+				"reservation %d extends past total %#x", hi, a.totalPages))
+			continue
+		}
+		n := 0
+		for i := 0; i < mem.PagesPerHuge; i++ {
+			if r.allocated[i] {
+				n++
+			}
+		}
+		if n != r.nAllocated {
+			vs = append(vs, audit.Violationf(auditLayer, "reservation-claims", start,
+				"reservation %d claim bitmap holds %d pages, counter says %d",
+				hi, n, r.nAllocated))
+		}
+		for f := start; f < start+mem.PagesPerHuge; f++ {
+			if a.FrameFree(f) {
+				vs = append(vs, audit.Violationf(auditLayer, "reservation-free-overlap", f,
+					"frame inside reservation %d is also on the free lists (double-reserve)", hi))
+				break
+			}
+		}
+	}
+	// FMFI recomputation: derive the index at HugeOrder from the free
+	// map alone and compare with the incremental-counter version. A
+	// drift here means a future fast path desynced counts from blocks.
+	if a.freePages > 0 {
+		var usable uint64
+		for _, o := range a.free {
+			if int(o) >= mem.HugeOrder {
+				usable += uint64(1) << o
+			}
+		}
+		recomputed := 1 - float64(usable)/float64(sum)
+		tracked := a.FMFI(mem.HugeOrder)
+		diff := recomputed - tracked
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9 {
+			vs = append(vs, audit.Violationf(auditLayer, "fmfi-recompute", 0,
+				"FMFI from counters %.9f != FMFI from free map %.9f", tracked, recomputed))
+		}
+	}
+	return vs
 }

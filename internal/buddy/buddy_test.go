@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/audit"
 	"repro/internal/mem"
 )
 
@@ -19,8 +20,8 @@ func TestNewAllFree(t *testing.T) {
 	if a.FreePages() != testPages {
 		t.Fatalf("FreePages = %d", a.FreePages())
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 	if a.LargestFreeOrder() != MaxOrder {
 		t.Fatalf("LargestFreeOrder = %d", a.LargestFreeOrder())
@@ -32,8 +33,8 @@ func TestNewNonPowerOfTwo(t *testing.T) {
 	if a.FreePages() != 1000 {
 		t.Fatalf("FreePages = %d", a.FreePages())
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 	// Allocate everything page by page.
 	for i := 0; i < 1000; i++ {
@@ -67,8 +68,8 @@ func TestAllocFreeRoundTrip(t *testing.T) {
 		t.Fatalf("max-order blocks = %d, want %d",
 			a.FreeBlockCount(MaxOrder), testPages>>MaxOrder)
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -113,8 +114,8 @@ func TestAllocAt(t *testing.T) {
 	if err := a.AllocAt(12345, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 	a.Free(512, mem.HugeOrder)
 	a.Free(12345, 0)
@@ -160,8 +161,8 @@ func TestFreeMergesAcrossSplits(t *testing.T) {
 	if a.FreeBlockCount(MaxOrder) != 1 {
 		t.Fatalf("expected single max-order block, got %d", a.FreeBlockCount(MaxOrder))
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -217,8 +218,8 @@ func TestReservation(t *testing.T) {
 	if a.FreePages() != testPages-10 {
 		t.Fatalf("FreePages = %d, want %d", a.FreePages(), testPages-10)
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -399,8 +400,8 @@ func TestRandomOpsInvariant(t *testing.T) {
 				}
 			}
 		}
-		if err := a.CheckInvariants(); err != nil {
-			t.Logf("invariant: %v", err)
+		if vs := a.CheckInvariants(); len(vs) != 0 {
+			t.Logf("invariant: %v", audit.Report(vs))
 			return false
 		}
 		var allocated uint64

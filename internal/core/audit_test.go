@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/mem"
+)
+
+func expectViolations(t *testing.T, vs []audit.Violation, want ...string) {
+	t.Helper()
+	allowed := make(map[string]bool, len(want))
+	for _, w := range want {
+		allowed[w] = true
+		if !audit.Has(vs, w) {
+			t.Errorf("auditor missed injected %q violation; got:\n%s", w, audit.Report(vs))
+		}
+	}
+	for _, v := range vs {
+		if !allowed[v.Invariant] {
+			t.Errorf("unexpected collateral violation: %v", v)
+		}
+	}
+}
+
+func TestAuditCatchesReservationKilledBehindBooking(t *testing.T) {
+	_, vm, g, gp, _ := newGeminiVM(Config{})
+	b := vm.Guest.Buddy
+	if _, err := b.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	gp.bookings[4] = &booking{hugeIdx: 4}
+	if vs := g.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %s", audit.Report(vs))
+	}
+	// Finish the reservation out from under the booking.
+	if _, err := b.FinishReservation(4); err != nil {
+		t.Fatal(err)
+	}
+	expectViolations(t, g.CheckInvariants(), "booking-reservation")
+	delete(gp.bookings, 4)
+}
+
+func TestAuditCatchesClaimDesync(t *testing.T) {
+	_, vm, g, gp, _ := newGeminiVM(Config{})
+	b := vm.Guest.Buddy
+	if _, err := b.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	gp.bookings[4] = &booking{hugeIdx: 4}
+	// Claim a page in the allocator without recording it in the
+	// booking.
+	if err := b.AllocReservedPage(4, 4*mem.PagesPerHuge+3); err != nil {
+		t.Fatal(err)
+	}
+	expectViolations(t, g.CheckInvariants(), "booking-claim-desync")
+}
+
+func TestAuditCatchesClaimCountDrift(t *testing.T) {
+	_, vm, g, gp, _ := newGeminiVM(Config{})
+	if _, err := vm.Guest.Buddy.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	bk := &booking{hugeIdx: 4}
+	gp.bookings[4] = bk
+	bk.nClaimed++
+	expectViolations(t, g.CheckInvariants(), "booking-claim-count")
+}
+
+func TestAuditCatchesOrphanReservation(t *testing.T) {
+	_, vm, g, _, _ := newGeminiVM(Config{})
+	if _, err := vm.Guest.Buddy.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	expectViolations(t, g.CheckInvariants(), "reservation-orphan")
+}
+
+func TestAuditCatchesBucketBlockFreed(t *testing.T) {
+	_, vm, g, gp, _ := newGeminiVM(Config{})
+	b := vm.Guest.Buddy
+	f, err := b.Alloc(mem.HugeOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := f / mem.PagesPerHuge
+	gp.bucket.Put(hi, 0, 1000)
+	if vs := g.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %s", audit.Report(vs))
+	}
+	// Free the parked block's frames behind the bucket's back.
+	b.Free(f, mem.HugeOrder)
+	expectViolations(t, g.CheckInvariants(), "bucket-frame-free")
+}
+
+func TestAuditCatchesBookedBucketOverlap(t *testing.T) {
+	_, vm, g, gp, _ := newGeminiVM(Config{})
+	f, err := vm.Guest.Buddy.Alloc(mem.HugeOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := f / mem.PagesPerHuge
+	gp.bucket.Put(hi, 0, 1000)
+	gp.bookings[hi] = &booking{hugeIdx: hi, owned: true}
+	expectViolations(t, g.CheckInvariants(), "booking-bucket-overlap")
+}
+
+func TestAuditNilBeforeAttach(t *testing.T) {
+	g, _, _ := New(Config{})
+	if vs := g.CheckInvariants(); vs != nil {
+		t.Fatalf("unattached coordinator reported: %s", audit.Report(vs))
+	}
+}

@@ -42,6 +42,14 @@ func (b *Bucket) Len() int { return len(b.entries) }
 // Contains reports whether the region is parked.
 func (b *Bucket) Contains(hugeIdx uint64) bool { return b.byIdx[hugeIdx] }
 
+// ForEach calls fn with every parked block's huge index, in parking
+// order. The auditor uses it to cross-check block ownership.
+func (b *Bucket) ForEach(fn func(hugeIdx uint64)) {
+	for _, e := range b.entries {
+		fn(e.hugeIdx)
+	}
+}
+
 // Put parks a block (already allocated, ownership transferred).
 func (b *Bucket) Put(hugeIdx, now, ttl uint64) {
 	if b.byIdx[hugeIdx] {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
@@ -64,8 +65,8 @@ func TestConsolidateDirect(t *testing.T) {
 	if got := vm.Guest.Buddy.FreePages(); got != free-256 {
 		t.Fatalf("free pages = %d, want %d", got, free-256)
 	}
-	if err := vm.Guest.Buddy.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := vm.Guest.Buddy.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -139,8 +140,8 @@ func TestConsolidateAbortsOnForeignFrames(t *testing.T) {
 		t.Fatalf("rollback leaked: free %d -> %d", free, gotFree)
 	}
 	vm.Guest.Buddy.Free(foreign, 0)
-	if err := vm.Guest.Buddy.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := vm.Guest.Buddy.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 

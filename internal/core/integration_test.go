@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/frag"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -82,8 +83,8 @@ func TestFrameConservationUnderChaos(t *testing.T) {
 		t.Fatalf("frame conservation violated: free=%d mapped=%d bucket=%d frag=%d reserved=%d sum=%d total=%d",
 			free, mapped, bucket, fragHeld, reserved, total, buddy.TotalPages())
 	}
-	if err := buddy.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := buddy.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 

@@ -3,6 +3,7 @@ package frag
 import (
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/buddy"
 	"repro/internal/mem"
 )
@@ -47,8 +48,8 @@ func TestFragmentToTarget(t *testing.T) {
 	if rep.FreeHugeRegions > pages/mem.PagesPerHuge/4 {
 		t.Errorf("too many huge candidates remain: %d", rep.FreeHugeRegions)
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -111,8 +112,8 @@ func TestReleaseFraction(t *testing.T) {
 	if f.HeldPages() != 0 {
 		t.Errorf("held after over-release = %d", f.HeldPages())
 	}
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 
@@ -126,8 +127,8 @@ func TestFragmentOutOfMemoryStops(t *testing.T) {
 		t.Fatalf("page leak: free=%d held=%d", a.FreePages(), f.HeldPages())
 	}
 	_ = got
-	if err := a.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := a.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 

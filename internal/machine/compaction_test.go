@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/mem"
 	"repro/internal/tlb"
 )
@@ -59,8 +60,8 @@ func TestCompactRegionAbortsOnUnmovable(t *testing.T) {
 	if got := vm.Guest.Buddy.FreePages(); got != free {
 		t.Fatalf("rollback leaked: %d -> %d", free, got)
 	}
-	if err := vm.Guest.Buddy.CheckInvariants(); err != nil {
-		t.Fatal(err)
+	if vs := vm.Guest.Buddy.CheckInvariants(); len(vs) != 0 {
+		t.Fatal(audit.Report(vs))
 	}
 }
 

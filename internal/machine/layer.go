@@ -409,6 +409,7 @@ func (L *Layer) UnmapVMA(v *VMA) {
 		ms = append(ms, mapping{m.VA, m.Frame, m.Kind})
 		return true
 	})
+	lastFlushed := ^uint64(0)
 	for _, m := range ms {
 		if m.kind == mem.Huge {
 			if _, err := L.Table.Unmap2M(m.va); err != nil {
@@ -416,6 +417,10 @@ func (L *Layer) UnmapVMA(v *VMA) {
 			}
 			L.Stats.HugeMappedPages -= mem.PagesPerHuge
 			if obs != nil && obs.OnFreeHugeBlock(L, m.frame) {
+				if L.FlushRegion != nil {
+					L.FlushRegion(m.va)
+					lastFlushed = m.va >> mem.HugeShift
+				}
 				continue
 			}
 			L.Buddy.Free(m.frame, mem.HugeOrder)
@@ -425,8 +430,12 @@ func (L *Layer) UnmapVMA(v *VMA) {
 			}
 			L.Buddy.Free(m.frame, 0)
 		}
-		if L.FlushRegion != nil && m.kind == mem.Huge {
+		// Base unmaps need shootdowns too, or churned VMAs leave stale
+		// base-grain entries behind. ScanRange is ascending, so one
+		// ranged flush per 2 MiB region covers all its base pages.
+		if L.FlushRegion != nil && m.va>>mem.HugeShift != lastFlushed {
 			L.FlushRegion(m.va)
+			lastFlushed = m.va >> mem.HugeShift
 		}
 	}
 	L.Space.Remove(v)

@@ -1,0 +1,96 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/mem"
+)
+
+func expectViolations(t *testing.T, vs []audit.Violation, want ...string) {
+	t.Helper()
+	allowed := make(map[string]bool, len(want))
+	for _, w := range want {
+		allowed[w] = true
+		if !audit.Has(vs, w) {
+			t.Errorf("auditor missed injected %q violation; got:\n%s", w, audit.Report(vs))
+		}
+	}
+	for _, v := range vs {
+		if !allowed[v.Invariant] {
+			t.Errorf("unexpected collateral violation: %v", v)
+		}
+	}
+}
+
+// populatedTable maps a few base pages and one huge region, audits
+// clean, and returns the table.
+func populatedTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New()
+	for i := uint64(0); i < 10; i++ {
+		if err := tb.Map4K(i*mem.PageSize, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Map2M(4*mem.HugeSize, 2*mem.PagesPerHuge); err != nil {
+		t.Fatal(err)
+	}
+	if vs := tb.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %s", audit.Report(vs))
+	}
+	return tb
+}
+
+func TestAuditCatchesRmapDesync(t *testing.T) {
+	tb := populatedTable(t)
+	delete(tb.reverse, 103) // forward mapping keeps frame 103; rmap forgets it
+	expectViolations(t, tb.CheckInvariants(), "rmap-inverse")
+}
+
+func TestAuditCatchesStaleRmapEntry(t *testing.T) {
+	tb := populatedTable(t)
+	tb.reverse[9999] = 77 * mem.PageSize // no base mapping uses frame 9999
+	expectViolations(t, tb.CheckInvariants(), "rmap-inverse")
+}
+
+func TestAuditCatchesCounterDrift(t *testing.T) {
+	tb := populatedTable(t)
+	tb.mapped4K++
+	expectViolations(t, tb.CheckInvariants(), "counter-recount")
+}
+
+func TestAuditCatchesMisalignedHugeLeaf(t *testing.T) {
+	tb := populatedTable(t)
+	pmd, _ := tb.walk(4*mem.HugeSize, hugeLevel, false)
+	if pmd == nil {
+		t.Fatal("PMD for the huge mapping not found")
+	}
+	pmd.frame[index(4*mem.HugeSize, hugeLevel)] = 2*mem.PagesPerHuge + 1
+	expectViolations(t, tb.CheckInvariants(), "huge-alignment")
+}
+
+func TestAuditCatchesPartitionViolation(t *testing.T) {
+	tb := populatedTable(t)
+	// Graft a live PTE node under the huge leaf: the region now has
+	// two translations for the same addresses.
+	pmd, _ := tb.walk(4*mem.HugeSize, hugeLevel, false)
+	if pmd == nil {
+		t.Fatal("PMD for the huge mapping not found")
+	}
+	pte := &node{}
+	pte.present[0] = true
+	pte.frame[0] = 500
+	pte.live = 1
+	idx := index(4*mem.HugeSize, hugeLevel)
+	pmd.children[idx] = pte
+	pmd.live++
+	expectViolations(t, tb.CheckInvariants(),
+		"partition", "counter-recount", "rmap-inverse")
+}
+
+func TestAuditCatchesLiveCountDrift(t *testing.T) {
+	tb := populatedTable(t)
+	tb.root.live++
+	expectViolations(t, tb.CheckInvariants(), "live-count")
+}

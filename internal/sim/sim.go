@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/buddy"
 	"repro/internal/core"
 	"repro/internal/frag"
@@ -128,6 +129,12 @@ type Config struct {
 	// below footprint keeps huge-page supply scarce for the whole
 	// run, as the paper's fragmented setting does.
 	RecoverEveryTicks int
+	// Audit runs the full cross-layer invariant audit every AuditEvery
+	// daemon ticks and at run completion, panicking with a report on
+	// the first violation.
+	Audit bool
+	// AuditEvery paces the periodic audit (default 32 ticks).
+	AuditEvery int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -155,7 +162,43 @@ func (c Config) withDefaults() Config {
 	if c.RecoverEveryTicks == 0 {
 		c.RecoverEveryTicks = 1
 	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 32
+	}
 	return c
+}
+
+// Validate reports whether the configuration describes a runnable
+// experiment. Run panics on an invalid configuration; callers wanting
+// an error instead should Validate first.
+func (c Config) Validate() error {
+	if c.System < 0 || c.System >= numSystems {
+		return fmt.Errorf("sim: System %d out of range [0,%d)", c.System, int(numSystems))
+	}
+	if c.Requests < 0 || c.WarmupRequests < 0 || c.RequestsPerTick < 0 ||
+		c.RecoverEveryTicks < 0 || c.AuditEvery < 0 {
+		return fmt.Errorf("sim: negative pacing parameter in %+v", c)
+	}
+	if c.GuestMemMB < 0 || c.HostMemMB < 0 {
+		return fmt.Errorf("sim: negative memory size (guest %d MB, host %d MB)",
+			c.GuestMemMB, c.HostMemMB)
+	}
+	if c.FragTarget < 0 || c.FragTarget >= 1 {
+		return fmt.Errorf("sim: FragTarget %v outside [0,1)", c.FragTarget)
+	}
+	d := c.withDefaults()
+	if d.GuestMemMB > d.HostMemMB {
+		return fmt.Errorf("sim: guest memory %d MB exceeds host memory %d MB",
+			d.GuestMemMB, d.HostMemMB)
+	}
+	if c.Workload.Name == "" {
+		return fmt.Errorf("sim: workload has no name")
+	}
+	if c.Workload.FootprintMB <= 0 || c.Workload.RequestPages <= 0 {
+		return fmt.Errorf("sim: workload %q needs a positive footprint and request size",
+			c.Workload.Name)
+	}
+	return nil
 }
 
 // Result reports one run.
@@ -243,8 +286,11 @@ func buildPolicies(sys System) (machine.Policy, machine.Policy, *core.Gemini) {
 	}
 }
 
-// Run executes one experiment.
+// Run executes one experiment. It panics when cfg fails Validate.
 func Run(cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
 	hostPages := uint64(cfg.HostMemMB) << 20 >> mem.PageShift
 	guestPages := uint64(cfg.GuestMemMB) << 20 >> mem.PageShift
@@ -264,10 +310,18 @@ func Run(cfg Config) Result {
 		fragmenters = []*frag.Fragmenter{hf, gf}
 	}
 	rec := &recovery{fragmenters: fragmenters, every: cfg.RecoverEveryTicks}
+	if cfg.Audit {
+		rec.auditEvery = cfg.AuditEvery
+		rec.auditors = []audit.Auditable{m}
+		if gem != nil {
+			rec.auditors = append(rec.auditors, gem)
+		}
+	}
 	if cfg.ReusedVM {
 		runPredecessor(m, vm, cfg, rec)
 	}
 	res := runWorkload(m, vm, cfg.Workload, cfg, rec)
+	rec.audit() // completion audit: the final state must be consistent
 	res.System = cfg.System.String()
 	if gem != nil {
 		// Bucket reuse rate (§6.3 reports 88% on average).
@@ -313,16 +367,32 @@ type recovery struct {
 	fragmenters []*frag.Fragmenter
 	every       int
 	ticks       int
+
+	// auditors, when set, undergo a full invariant audit every
+	// auditEvery ticks (Config.Audit).
+	auditors   []audit.Auditable
+	auditEvery int
 }
 
 func (r *recovery) tick(m *machine.Machine) {
 	m.Tick()
 	r.ticks++
-	if r.every <= 0 || r.ticks%r.every != 0 {
-		return
+	if r.every > 0 && r.ticks%r.every == 0 {
+		for _, f := range r.fragmenters {
+			f.ReleaseRegions(1)
+		}
 	}
-	for _, f := range r.fragmenters {
-		f.ReleaseRegions(1)
+	if r.auditEvery > 0 && r.ticks%r.auditEvery == 0 {
+		r.audit()
+	}
+}
+
+// audit runs the configured invariant auditors, panicking with the
+// full report on any violation: a corrupted simulation must fail
+// loudly rather than skew results.
+func (r *recovery) audit() {
+	if vs := audit.Run(r.auditors...); len(vs) != 0 {
+		panic("sim: audit after tick " + fmt.Sprint(r.ticks) + ": " + audit.Report(vs))
 	}
 }
 
@@ -397,12 +467,34 @@ type ColocatedConfig struct {
 	GuestMemMB int
 	HostMemMB  int
 	Requests   int
+	// Audit enables the periodic and completion invariant audit, as
+	// in Config.Audit (every AuditEvery ticks, default 32).
+	Audit      bool
+	AuditEvery int
 	Seed       int64
 }
 
+// Validate reports whether the collocated configuration is runnable.
+func (cc ColocatedConfig) Validate() error {
+	single := Config{
+		System: cc.System, Workload: cc.WorkloadA, Fragmented: cc.Fragmented,
+		GuestMemMB: cc.GuestMemMB, HostMemMB: cc.HostMemMB,
+		Requests: cc.Requests, AuditEvery: cc.AuditEvery, Seed: cc.Seed,
+	}
+	if err := single.Validate(); err != nil {
+		return err
+	}
+	single.Workload = cc.WorkloadB
+	return single.Validate()
+}
+
 // RunColocated runs two VMs side by side, interleaving their request
-// streams, and returns per-VM results.
+// streams, and returns per-VM results. It panics when cc fails
+// Validate.
 func RunColocated(cc ColocatedConfig) (Result, Result) {
+	if err := cc.Validate(); err != nil {
+		panic(err)
+	}
 	if cc.GuestMemMB == 0 {
 		cc.GuestMemMB = 768
 	}
@@ -435,6 +527,18 @@ func RunColocated(cc ColocatedConfig) (Result, Result) {
 		}
 	}
 	rec := &recovery{fragmenters: fragmenters, every: 1}
+	if cc.Audit {
+		rec.auditEvery = cc.AuditEvery
+		if rec.auditEvery == 0 {
+			rec.auditEvery = 32
+		}
+		rec.auditors = []audit.Auditable{m}
+		for _, gem := range []*core.Gemini{gemA, gemB} {
+			if gem != nil {
+				rec.auditors = append(rec.auditors, gem)
+			}
+		}
+	}
 	wA := workload.New(cc.WorkloadA, vmA, cc.Seed+21)
 	wB := workload.New(cc.WorkloadB, vmB, cc.Seed+22)
 
@@ -478,6 +582,7 @@ func RunColocated(cc ColocatedConfig) (Result, Result) {
 	}
 	bgA := vmA.Guest.Stats.BackgroundCycles + vmA.EPT.Stats.BackgroundCycles - bgA0
 	bgB := vmB.Guest.Stats.BackgroundCycles + vmB.EPT.Stats.BackgroundCycles - bgB0
+	rec.audit() // completion audit
 
 	mk := func(vm *machine.VM, spec workload.Spec, fg, bg, ops, acc uint64, lat *metrics.Histogram) Result {
 		ts := vm.TLB.Stats()

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func validConfig() Config {
+	return Config{System: Gemini, Workload: workload.Redis()}
+}
+
+func TestConfigValidateAcceptsDefaults(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"system-negative", func(c *Config) { c.System = -1 }, "out of range"},
+		{"system-past-end", func(c *Config) { c.System = numSystems }, "out of range"},
+		{"negative-requests", func(c *Config) { c.Requests = -1 }, "negative pacing"},
+		{"negative-warmup", func(c *Config) { c.WarmupRequests = -5 }, "negative pacing"},
+		{"negative-requests-per-tick", func(c *Config) { c.RequestsPerTick = -2 }, "negative pacing"},
+		{"negative-recover-ticks", func(c *Config) { c.RecoverEveryTicks = -1 }, "negative pacing"},
+		{"negative-audit-every", func(c *Config) { c.AuditEvery = -8 }, "negative pacing"},
+		{"negative-guest-mem", func(c *Config) { c.GuestMemMB = -1 }, "negative memory"},
+		{"negative-host-mem", func(c *Config) { c.HostMemMB = -1 }, "negative memory"},
+		{"frag-target-negative", func(c *Config) { c.FragTarget = -0.1 }, "FragTarget"},
+		{"frag-target-one", func(c *Config) { c.FragTarget = 1.0 }, "FragTarget"},
+		{"guest-exceeds-host", func(c *Config) { c.GuestMemMB = 4096; c.HostMemMB = 1024 },
+			"exceeds host"},
+		{"unnamed-workload", func(c *Config) { c.Workload = workload.Spec{} }, "no name"},
+		{"zero-footprint", func(c *Config) { c.Workload.FootprintMB = 0 }, "positive footprint"},
+		{"zero-request-pages", func(c *Config) { c.Workload.RequestPages = 0 }, "positive footprint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestColocatedConfigValidate(t *testing.T) {
+	cc := ColocatedConfig{
+		System: Gemini, WorkloadA: workload.Redis(), WorkloadB: workload.Shore(),
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatalf("valid colocated config rejected: %v", err)
+	}
+	bad := cc
+	bad.WorkloadB = workload.Spec{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a colocated config with an unnamed workload B")
+	}
+	bad = cc
+	bad.System = numSystems
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range system")
+	}
+}
+
+// TestRunPanicsOnInvalidConfig locks the Run entry point's contract:
+// invalid configurations fail loudly instead of running with garbage.
+func TestRunPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on an invalid config")
+		}
+	}()
+	cfg := validConfig()
+	cfg.System = -3
+	Run(cfg)
+}

@@ -1,0 +1,63 @@
+package tlb
+
+import (
+	"repro/internal/audit"
+	"repro/internal/mem"
+)
+
+// auditLayer labels TLB violations in audit reports.
+const auditLayer = "tlb"
+
+// VisitEntries calls fn for every valid entry with the virtual address
+// it translates (the region base for huge entries) and its kind. fn
+// returning false stops the walk. The VA is reconstructed from the
+// tag, which stores the full page number above the kind bit.
+func (t *TLB) VisitEntries(fn func(va uint64, kind mem.PageSizeKind) bool) {
+	for _, set := range t.sets {
+		for _, e := range set {
+			if !e.valid {
+				continue
+			}
+			pn := e.tag >> 1
+			va := pn << mem.PageShift
+			if e.kind == mem.Huge {
+				va = pn << mem.HugeShift
+			}
+			if !fn(va, e.kind) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants validates the TLB's internal geometry: every valid
+// entry's tag encodes its kind in the low bit, lives in the set its
+// page number selects, and appears at most once per set. Coherence
+// against the owning page table is a cross-layer property checked by
+// the machine auditor, which has both structures in hand.
+func (t *TLB) CheckInvariants() []audit.Violation {
+	var vs []audit.Violation
+	for si, set := range t.sets {
+		seen := make(map[uint64]bool, len(set))
+		for _, e := range set {
+			if !e.valid {
+				continue
+			}
+			if got := mem.PageSizeKind(e.tag & 1); got != e.kind {
+				vs = append(vs, audit.Violationf(auditLayer, "tag-kind", e.tag,
+					"tag kind bit %v disagrees with entry kind %v", got, e.kind))
+			}
+			pn := e.tag >> 1
+			if want := int(pn % uint64(t.cfg.Sets)); want != si {
+				vs = append(vs, audit.Violationf(auditLayer, "set-index", e.tag,
+					"entry in set %d but page number selects set %d", si, want))
+			}
+			if seen[e.tag] {
+				vs = append(vs, audit.Violationf(auditLayer, "duplicate-tag", e.tag,
+					"tag appears twice in set %d", si))
+			}
+			seen[e.tag] = true
+		}
+	}
+	return vs
+}

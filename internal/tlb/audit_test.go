@@ -1,0 +1,107 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/mem"
+)
+
+func expectViolations(t *testing.T, vs []audit.Violation, want ...string) {
+	t.Helper()
+	allowed := make(map[string]bool, len(want))
+	for _, w := range want {
+		allowed[w] = true
+		if !audit.Has(vs, w) {
+			t.Errorf("auditor missed injected %q violation; got:\n%s", w, audit.Report(vs))
+		}
+	}
+	for _, v := range vs {
+		if !allowed[v.Invariant] {
+			t.Errorf("unexpected collateral violation: %v", v)
+		}
+	}
+}
+
+func populatedTLB(t *testing.T) *TLB {
+	t.Helper()
+	tl := New(DefaultConfig())
+	for i := uint64(0); i < 100; i++ {
+		tl.Insert(i*mem.PageSize, mem.Base)
+	}
+	tl.Insert(8*mem.HugeSize, mem.Huge)
+	if vs := tl.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %s", audit.Report(vs))
+	}
+	return tl
+}
+
+func TestVisitEntriesRoundTrip(t *testing.T) {
+	tl := populatedTLB(t)
+	got := make(map[uint64]mem.PageSizeKind)
+	tl.VisitEntries(func(va uint64, kind mem.PageSizeKind) bool {
+		got[va] = kind
+		return true
+	})
+	if len(got) != 101 {
+		t.Fatalf("visited %d entries, want 101", len(got))
+	}
+	for i := uint64(0); i < 100; i++ {
+		if k, ok := got[i*mem.PageSize]; !ok || k != mem.Base {
+			t.Fatalf("base entry %d: got %v %v", i, k, ok)
+		}
+	}
+	if k, ok := got[8*mem.HugeSize]; !ok || k != mem.Huge {
+		t.Fatalf("huge entry: got %v %v", k, ok)
+	}
+}
+
+func TestAuditCatchesWrongSetEntry(t *testing.T) {
+	tl := populatedTLB(t)
+	// Teleport a valid entry into a set its page number does not
+	// select.
+	src := &tl.sets[0][0]
+	if !src.valid {
+		t.Fatal("expected a valid entry in set 0")
+	}
+	tl.sets[1][0] = *src
+	src.valid = false
+	expectViolations(t, tl.CheckInvariants(), "set-index")
+}
+
+func TestAuditCatchesKindBitFlip(t *testing.T) {
+	tl := populatedTLB(t)
+	e := &tl.sets[0][0]
+	if !e.valid {
+		t.Fatal("expected a valid entry in set 0")
+	}
+	e.kind ^= 1
+	// Flipping the kind without the tag desyncs the low bit, and the
+	// reinterpreted page number usually selects a different set.
+	vs := tl.CheckInvariants()
+	if !audit.Has(vs, "tag-kind") {
+		t.Errorf("auditor missed tag-kind; got:\n%s", audit.Report(vs))
+	}
+}
+
+func TestAuditCatchesDuplicateTag(t *testing.T) {
+	tl := populatedTLB(t)
+	set := tl.sets[0]
+	var src *entry
+	for i := range set {
+		if set[i].valid {
+			src = &set[i]
+			break
+		}
+	}
+	if src == nil {
+		t.Fatal("expected a valid entry in set 0")
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = *src
+			break
+		}
+	}
+	expectViolations(t, tl.CheckInvariants(), "duplicate-tag")
+}

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidateAcceptsDefaults(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if err := (Options{Quick: true, Workloads: []string{"redis", "specjbb"}}).Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestOptionsValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantSub string
+	}{
+		{"negative-seed", Options{Seed: -1}, "negative seed"},
+		{"negative-requests", Options{Requests: -100}, "negative request"},
+		{"negative-parallel", Options{Parallel: -4}, "negative parallelism"},
+		{"unknown-workload", Options{Workloads: []string{"redis", "nonesuch"}}, "nonesuch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestExperimentsPanicOnInvalidOptions locks the experiment runners'
+// contract: a bad Options fails loudly before any simulation work.
+func TestExperimentsPanicOnInvalidOptions(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on invalid options", name)
+			}
+		}()
+		fn()
+	}
+	bad := Options{Parallel: -1}
+	mustPanic("Figure2", func() { Figure2(bad) })
+	mustPanic("Motivation", func() { Motivation(bad) })
+	mustPanic("CleanSlate", func() { CleanSlate(bad) })
+	mustPanic("Colocated", func() { Colocated(bad) })
+}
