@@ -8,10 +8,11 @@
 // The package exposes two levels of API:
 //
 //   - experiment runners (Figure2, Motivation, CleanSlate, ReusedVM,
-//     Breakdown, Colocated) that regenerate each figure and table of
-//     the paper's evaluation;
-//   - the single-run primitives (Run, RunMicro, Systems, Workloads)
-//     for custom studies.
+//     Breakdown, Colocated, ManyVMs) that regenerate each figure and
+//     table of the paper's evaluation on one shared job grid;
+//   - the single-run primitives (Run, RunMicro, RunColocated, RunMany,
+//     Systems, Workloads) for custom studies. All of them execute on
+//     the same unified N-VM engine (NewEngine for full control).
 //
 // Everything is deterministic for a given seed. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for measured-vs-paper results.
@@ -39,6 +40,12 @@ type (
 	ColocatedConfig = sim.ColocatedConfig
 	// WorkloadSpec describes one application model (Table 2).
 	WorkloadSpec = workload.Spec
+	// VMConfig describes one VM of an N-VM engine run.
+	VMConfig = sim.VMConfig
+	// EngineConfig describes a full N-VM engine run.
+	EngineConfig = sim.EngineConfig
+	// FragSpec describes one fragmentation pre-pass.
+	FragSpec = sim.FragSpec
 )
 
 // The evaluated systems, in the paper's figure order.
@@ -66,6 +73,15 @@ func RunMicro(mc MicroConfig) MicroResult { return sim.RunMicro(mc) }
 // RunColocated executes a two-VM consolidation run and returns per-VM
 // results.
 func RunColocated(cc ColocatedConfig) (Result, Result) { return sim.RunColocated(cc) }
+
+// RunMany executes one N-VM engine run with default pacing and host
+// sizing, returning per-VM results in VM order. For full control
+// (seeds, fragmentation, audit), build a sim Engine via NewEngine.
+func RunMany(vms []VMConfig) []Result { return sim.RunMany(vms) }
+
+// NewEngine builds the unified N-VM simulation engine for an explicit
+// configuration; Engine.Run returns per-VM results.
+func NewEngine(ec EngineConfig) *sim.Engine { return sim.NewEngine(ec) }
 
 // Systems returns the paper's eight evaluated systems.
 func Systems() []System { return sim.Systems() }

@@ -5,6 +5,11 @@
 //
 //	geminisim [-system GEMINI] [-workload masstree] [-fragmented]
 //	          [-reused] [-requests 4000] [-seed 1] [-all-systems]
+//	          [-vms N]
+//
+// With -vms N > 1, N copies of the workload run as separate VMs
+// consolidated on one host through the unified engine, and one row is
+// printed per VM.
 package main
 
 import (
@@ -23,7 +28,12 @@ func main() {
 	requests := flag.Int("requests", 4000, "measured requests")
 	seed := flag.Int64("seed", 1, "random seed")
 	allSystems := flag.Bool("all-systems", false, "run every system and compare")
+	vms := flag.Int("vms", 1, "number of VMs running the workload, consolidated on one host")
 	flag.Parse()
+	if *vms < 1 {
+		fmt.Fprintf(os.Stderr, "-vms must be at least 1, got %d\n", *vms)
+		os.Exit(1)
+	}
 
 	spec, err := repro.WorkloadByName(*wl)
 	if err != nil {
@@ -42,21 +52,44 @@ func main() {
 		systems = append(systems, s)
 	}
 
-	fmt.Printf("workload=%s footprint=%dMB fragmented=%v reused=%v requests=%d seed=%d\n\n",
-		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed)
+	fmt.Printf("workload=%s footprint=%dMB fragmented=%v reused=%v requests=%d seed=%d vms=%d\n\n",
+		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed, *vms)
 	fmt.Printf("%-22s %10s %10s %10s %9s %8s %7s %7s\n",
 		"system", "thpt/Mcyc", "mean(cyc)", "p99(cyc)", "tlbm/kacc", "aligned", "guestH", "hostH")
 	for _, sys := range systems {
-		r := repro.Run(repro.Config{
+		for i, r := range runOne(sys, spec, *vms, *fragmented, *reused, *requests, *seed) {
+			label := r.System
+			if *vms > 1 {
+				label = fmt.Sprintf("%s vm%d", r.System, i)
+			}
+			fmt.Printf("%-22s %10.2f %10.0f %10.0f %9.1f %8.2f %7d %7d\n",
+				label, r.Throughput, r.MeanLatency, r.P99Latency,
+				r.TLBMissesPerKAccess, r.AlignedRate, r.GuestHuge, r.HostHuge)
+		}
+	}
+}
+
+// runOne runs the configured experiment: a single VM through Run, or
+// n consolidated copies of the workload through the unified engine.
+func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused bool, requests int, seed int64) []repro.Result {
+	if n == 1 {
+		return []repro.Result{repro.Run(repro.Config{
 			System:     sys,
 			Workload:   spec,
-			Fragmented: *fragmented,
-			ReusedVM:   *reused,
-			Requests:   *requests,
-			Seed:       *seed,
-		})
-		fmt.Printf("%-22s %10.2f %10.0f %10.0f %9.1f %8.2f %7d %7d\n",
-			r.System, r.Throughput, r.MeanLatency, r.P99Latency,
-			r.TLBMissesPerKAccess, r.AlignedRate, r.GuestHuge, r.HostHuge)
+			Fragmented: fragmented,
+			ReusedVM:   reused,
+			Requests:   requests,
+			Seed:       seed,
+		})}
 	}
+	vms := make([]repro.VMConfig, n)
+	for i := range vms {
+		vms[i] = repro.VMConfig{System: sys, Workload: spec, ReusedVM: reused}
+	}
+	return repro.NewEngine(repro.EngineConfig{
+		VMs:        vms,
+		Fragmented: fragmented,
+		Requests:   requests,
+		Seed:       seed,
+	}).Run()
 }

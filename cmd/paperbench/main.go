@@ -6,30 +6,38 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated]
-//	           [-quick] [-seed 1] [-parallel N] [-audit]
+//	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated|manyvms]
+//	           [-quick] [-seed 1] [-parallel N] [-audit] [-vms N]
+//
+// The manyvms experiment consolidates -vms heterogeneous VMs on one
+// fragmented host through the unified engine and compares per-VM
+// results across all systems. It is excluded from -exp all (it is a
+// scaling study, not a paper figure); select it explicitly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, motivation, cleanslate, reused, breakdown, colocated")
+	exp := flag.String("exp", "all", "experiment: all, fig2, motivation, cleanslate, reused, breakdown, colocated, manyvms")
 	quick := flag.Bool("quick", false, "reduced scale (half footprints, fewer requests)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	auditRuns := flag.Bool("audit", false, "run the cross-layer invariant audit during every run (slower; fails loudly on corruption)")
+	vms := flag.Int("vms", 4, "VM count for the manyvms experiment")
 	flag.Parse()
 
 	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel, Audit: *auditRuns}
 	run := func(name string, fn func()) {
-		if *exp != "all" && *exp != name {
+		// manyvms is opt-in: it is a scaling study, not a paper figure.
+		if *exp != name && (*exp != "all" || name == "manyvms") {
 			return
 		}
 		t0 := time.Now()
@@ -43,9 +51,10 @@ func main() {
 	run("reused", func() { reused(o) })
 	run("breakdown", func() { breakdown(o) })
 	run("colocated", func() { colocated(o) })
+	run("manyvms", func() { manyVMs(o, *vms) })
 	if *exp != "all" {
 		switch *exp {
-		case "fig2", "motivation", "cleanslate", "reused", "breakdown", "colocated":
+		case "fig2", "motivation", "cleanslate", "reused", "breakdown", "colocated", "manyvms":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(1)
@@ -150,12 +159,33 @@ func breakdown(o repro.Options) {
 func colocated(o repro.Options) {
 	byPair := repro.Colocated(o)
 	fmt.Println("=== Figures 17/18: collocated VMs (per-VM throughput per Mcycle) ===")
-	for pair, rows := range byPair {
+	pairs := make([]string, 0, len(byPair))
+	for pair := range byPair {
+		pairs = append(pairs, pair)
+	}
+	sort.Strings(pairs)
+	for _, pair := range pairs {
+		rows := byPair[pair]
 		fmt.Printf("--- pair %s ---\n", pair)
 		fmt.Printf("%-22s %12s %12s %12s %12s\n", "system", "thptA", "thptB", "meanA", "meanB")
 		for _, cr := range rows {
 			fmt.Printf("%-22s %12.2f %12.2f %12.0f %12.0f\n",
 				cr.A.System, cr.A.Throughput, cr.B.Throughput, cr.A.MeanLatency, cr.B.MeanLatency)
+		}
+	}
+	fmt.Println()
+}
+
+func manyVMs(o repro.Options, n int) {
+	fmt.Printf("=== Scaling study: %d consolidated VMs (per-VM throughput per Mcycle) ===\n", n)
+	for _, row := range repro.ManyVMs(o, n) {
+		fmt.Printf("--- %s ---\n", row.System)
+		fmt.Printf("%-4s %-14s %12s %12s %9s %8s\n",
+			"vm", "workload", "thpt/Mcyc", "mean(cyc)", "tlbm/kacc", "aligned")
+		for i, r := range row.Results {
+			fmt.Printf("%-4d %-14s %12.2f %12.0f %9.1f %8.2f\n",
+				i, r.Workload, r.Throughput, r.MeanLatency,
+				r.TLBMissesPerKAccess, r.AlignedRate)
 		}
 	}
 	fmt.Println()

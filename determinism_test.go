@@ -61,6 +61,118 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// colocatedDeterminismCases are the consolidation cells locked by the
+// colocated double-run test and golden snapshot: the paper's headline
+// pair under the coordinated system, and a store/PARSEC pair under the
+// guest-only baseline.
+func colocatedDeterminismCases() []sim.ColocatedConfig {
+	cases := []struct {
+		system sim.System
+		a, b   workload.Spec
+	}{
+		{sim.Gemini, workload.Masstree(), workload.SPD()},
+		{sim.THP, workload.Redis(), workload.Canneal()},
+	}
+	cfgs := make([]sim.ColocatedConfig, 0, len(cases))
+	for _, c := range cases {
+		a, b := c.a, c.b
+		a.FootprintMB /= 4
+		b.FootprintMB /= 4
+		cfgs = append(cfgs, sim.ColocatedConfig{
+			System:     c.system,
+			WorkloadA:  a,
+			WorkloadB:  b,
+			Fragmented: true,
+			Requests:   400,
+			Seed:       42,
+		})
+	}
+	return cfgs
+}
+
+// TestColocatedDeterminism extends the seed contract to the two-VM
+// path: two RunColocated calls with the same configuration must agree
+// on both VMs' results, bit for bit.
+func TestColocatedDeterminism(t *testing.T) {
+	for _, cc := range colocatedDeterminismCases() {
+		cc := cc
+		name := fmt.Sprintf("%s/%s+%s", cc.System, cc.WorkloadA.Name, cc.WorkloadB.Name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a1, b1 := sim.RunColocated(cc)
+			a2, b2 := sim.RunColocated(cc)
+			if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+				t.Errorf("same seed, different colocated results:\n  first:  %+v / %+v\n  second: %+v / %+v",
+					a1, b1, a2, b2)
+			}
+		})
+	}
+}
+
+// TestRunManyDeterminism locks the engine's per-VM seed-stream
+// contract at N=4 with the cross-layer audit enabled: four
+// heterogeneous VMs on one fragmented host must produce identical
+// per-VM results across two runs, and no invariant audit may fire.
+func TestRunManyDeterminism(t *testing.T) {
+	specs := []workload.Spec{
+		workload.Masstree(), workload.Specjbb(),
+		workload.Canneal(), workload.Redis(),
+	}
+	vms := make([]sim.VMConfig, len(specs))
+	for i, s := range specs {
+		s.FootprintMB /= 4
+		vms[i] = sim.VMConfig{System: sim.Gemini, Workload: s}
+	}
+	run := func() []sim.Result {
+		return sim.NewEngine(sim.EngineConfig{
+			VMs:        vms,
+			Fragmented: true,
+			Requests:   300,
+			Seed:       42,
+			Audit:      true,
+		}).Run()
+	}
+	first := run()
+	second := run()
+	if len(first) != len(vms) {
+		t.Fatalf("got %d results for %d VMs", len(first), len(vms))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same seed, different N-VM results:\n  first:  %+v\n  second: %+v", first, second)
+	}
+}
+
+// TestGoldenColocatedSnapshot pins the exact numbers for the colocated
+// determinism cells, the same way TestGoldenQuickSnapshot pins the
+// single-VM path; regenerate with -update after an intended change.
+func TestGoldenColocatedSnapshot(t *testing.T) {
+	var b strings.Builder
+	for _, cc := range colocatedDeterminismCases() {
+		ra, rb := sim.RunColocated(cc)
+		fmt.Fprintf(&b, "A %+v\nB %+v\n", ra, rb)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "golden_colocated.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("colocated results drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s"+
+			"If the change is intended, regenerate with -update.", got, want)
+	}
+}
+
 // TestGoldenQuickSnapshot pins the exact quick-mode numbers for the
 // determinism cases. Any change to allocation order, RNG consumption,
 // or policy arithmetic shows up as a golden diff; regenerate with

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -116,22 +117,45 @@ func tlbSensitiveSpecs() []workload.Spec {
 	return out
 }
 
-// forEach runs fn over [0,n) with bounded parallelism.
-func forEach(n, parallel int, fn func(i int)) {
+// forEach runs fn over [0,n) with bounded parallelism. A panic inside
+// fn is captured and re-raised in the caller with the job identity
+// describe(i) reports prepended (plus the worker's stack), so a
+// failing cell is attributable instead of crashing an anonymous
+// goroutine. When several jobs panic, the first is reported.
+func forEach(n, parallel int, describe func(i int) string, fn func(i int)) {
 	if parallel > n {
 		parallel = n
 	}
 	if parallel < 1 {
 		parallel = 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked bool
+		panicID  string
+		panicVal any
+		panicStk []byte
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				defer mu.Unlock()
+				if !panicked {
+					panicked, panicVal, panicID, panicStk = true, r, describe(i), debug.Stack()
+				}
+			}
+		}()
+		fn(i)
+	}
 	next := make(chan int)
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				runOne(i)
 			}
 		}()
 	}
@@ -140,6 +164,77 @@ func forEach(n, parallel int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("repro: job %q panicked: %v\n%s", panicID, panicVal, panicStk))
+	}
+}
+
+// Setting names one evaluation setting of the paper: the memory state
+// and VM history every cell of a figure shares.
+type Setting struct {
+	// Name labels the setting in job identities.
+	Name string
+	// Fragmented pre-fragments memory before the run (§6.1).
+	Fragmented bool
+	// ReusedVM runs the SVM predecessor to completion first (§6.3).
+	ReusedVM bool
+}
+
+// gridJob identifies one cell of the experiment grid.
+type gridJob[U any] struct {
+	Unit    U
+	System  System
+	Setting Setting
+}
+
+// runGrid is the single job grid every figure runs on: one cell per
+// (setting × unit × system), executed with bounded parallelism in
+// deterministic grid order (settings outermost, then units, then
+// systems). The unit dimension is generic — a workload for the
+// single-VM figures, a workload pair for consolidation, a VM count for
+// N-VM smokes. A panicking cell is re-raised with its grid identity.
+func runGrid[U, R any](o Options, units []U, systems []System, settings []Setting,
+	name func(U) string, run func(gridJob[U]) R) []R {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	var jobs []gridJob[U]
+	for _, st := range settings {
+		for _, u := range units {
+			for _, sys := range systems {
+				jobs = append(jobs, gridJob[U]{Unit: u, System: sys, Setting: st})
+			}
+		}
+	}
+	out := make([]R, len(jobs))
+	forEach(len(jobs), o.parallel(), func(i int) string {
+		j := jobs[i]
+		return fmt.Sprintf("%s × %s × %s", name(j.Unit), j.System, j.Setting.Name)
+	}, func(i int) {
+		out[i] = run(jobs[i])
+	})
+	return out
+}
+
+// cellConfig builds the single-VM sim.Config for one grid cell.
+func cellConfig(o Options, spec workload.Spec, sys System, st Setting) Config {
+	return Config{
+		System: sys, Workload: spec,
+		Fragmented: st.Fragmented, ReusedVM: st.ReusedVM,
+		Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
+	}
+}
+
+// specName labels a workload unit in grid identities.
+func specName(s workload.Spec) string { return s.Name }
+
+// runCells is the common single-VM grid body: every (workload × system
+// × setting) cell becomes one sim.Run.
+func runCells(o Options, specs []workload.Spec, systems []System, settings []Setting) []Result {
+	return runGrid(o, specs, systems, settings, specName,
+		func(j gridJob[workload.Spec]) Result {
+			return sim.Run(cellConfig(o, j.Unit, j.System, j.Setting))
+		})
 }
 
 // Figure2 regenerates the motivation micro-benchmark: random access
@@ -160,7 +255,11 @@ func Figure2(o Options) []MicroResult {
 		{true, true},   // Host-H-VM-H
 	}
 	out := make([]MicroResult, len(sizes)*len(configs))
-	forEach(len(out), o.parallel(), func(i int) {
+	forEach(len(out), o.parallel(), func(i int) string {
+		c := configs[i%len(configs)]
+		return fmt.Sprintf("micro %dMB × guestHuge=%v hostHuge=%v",
+			sizes[i/len(configs)], c.g, c.h)
+	}, func(i int) {
 		size := sizes[i/len(configs)]
 		c := configs[i%len(configs)]
 		out[i] = sim.RunMicro(sim.MicroConfig{
@@ -181,9 +280,8 @@ func motivationSpecs() []workload.Spec {
 // Motivation regenerates Figure 3 and Table 1: the four motivation
 // workloads across all eight systems under fragmentation.
 func Motivation(o Options) []Result {
-	return sweep(o, o.specs(motivationSpecs()), Systems(), func(c *Config) {
-		c.Fragmented = true
-	})
+	return runCells(o, o.specs(motivationSpecs()), Systems(),
+		[]Setting{{Name: "fragmented", Fragmented: true}})
 }
 
 // CleanSlateRow couples a clean-slate result with its memory state.
@@ -196,44 +294,25 @@ type CleanSlateRow struct {
 // workload across all eight systems, with and without fragmentation,
 // in a fresh VM.
 func CleanSlate(o Options) []CleanSlateRow {
-	if err := o.Validate(); err != nil {
-		panic(err)
+	settings := []Setting{
+		{Name: "fragmented", Fragmented: true},
+		{Name: "pristine"},
 	}
-	specs := o.specs(tlbSensitiveSpecs())
-	systems := Systems()
-	type job struct {
-		spec workload.Spec
-		sys  System
-		frag bool
-	}
-	var jobs []job
-	for _, frag := range []bool{true, false} {
-		for _, s := range specs {
-			for _, sys := range systems {
-				jobs = append(jobs, job{s, sys, frag})
+	return runGrid(o, o.specs(tlbSensitiveSpecs()), Systems(), settings, specName,
+		func(j gridJob[workload.Spec]) CleanSlateRow {
+			return CleanSlateRow{
+				Fragmented: j.Setting.Fragmented,
+				Result:     sim.Run(cellConfig(o, j.Unit, j.System, j.Setting)),
 			}
-		}
-	}
-	out := make([]CleanSlateRow, len(jobs))
-	forEach(len(jobs), o.parallel(), func(i int) {
-		j := jobs[i]
-		cfg := Config{
-			System: j.sys, Workload: j.spec, Fragmented: j.frag,
-			Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
-		}
-		out[i] = CleanSlateRow{Fragmented: j.frag, Result: sim.Run(cfg)}
-	})
-	return out
+		})
 }
 
 // ReusedVM regenerates Figures 12-15 and Table 4: every TLB-sensitive
 // workload across all eight systems in a VM that previously ran the
 // SVM trainer, fragmented.
 func ReusedVM(o Options) []Result {
-	return sweep(o, o.specs(tlbSensitiveSpecs()), Systems(), func(c *Config) {
-		c.Fragmented = true
-		c.ReusedVM = true
-	})
+	return runCells(o, o.specs(tlbSensitiveSpecs()), Systems(),
+		[]Setting{{Name: "reused", Fragmented: true, ReusedVM: true}})
 }
 
 // Breakdown regenerates Figure 16: Gemini against its EMA/HB-only and
@@ -241,38 +320,8 @@ func ReusedVM(o Options) []Result {
 // mechanisms contribute.
 func Breakdown(o Options) []Result {
 	systems := []System{Gemini, GeminiNoBucket, GeminiBucketOnly}
-	return sweep(o, o.specs(tlbSensitiveSpecs()), systems, func(c *Config) {
-		c.Fragmented = true
-		c.ReusedVM = true
-	})
-}
-
-// sweep runs every (workload, system) pair with the given config
-// mutation applied.
-func sweep(o Options, specs []workload.Spec, systems []System, mut func(*Config)) []Result {
-	if err := o.Validate(); err != nil {
-		panic(err)
-	}
-	type job struct {
-		spec workload.Spec
-		sys  System
-	}
-	var jobs []job
-	for _, s := range specs {
-		for _, sys := range systems {
-			jobs = append(jobs, job{s, sys})
-		}
-	}
-	out := make([]Result, len(jobs))
-	forEach(len(jobs), o.parallel(), func(i int) {
-		cfg := Config{
-			System: jobs[i].sys, Workload: jobs[i].spec,
-			Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
-		}
-		mut(&cfg)
-		out[i] = sim.Run(cfg)
-	})
-	return out
+	return runCells(o, o.specs(tlbSensitiveSpecs()), systems,
+		[]Setting{{Name: "reused", Fragmented: true, ReusedVM: true}})
 }
 
 // ColocatedRow holds one consolidation pair's per-VM results.
@@ -280,14 +329,15 @@ type ColocatedRow struct {
 	A, B Result
 }
 
+// pairSpec is a consolidation grid unit: the two workloads sharing a
+// host.
+type pairSpec struct{ a, b workload.Spec }
+
 // Colocated regenerates Figures 17 and 18: pairs of VMs consolidated
 // on one host, including the non-TLB-sensitive pair (Shore, SP.D)
 // that bounds Gemini's overhead.
 func Colocated(o Options) map[string][]ColocatedRow {
-	if err := o.Validate(); err != nil {
-		panic(err)
-	}
-	pairs := []struct{ a, b workload.Spec }{
+	pairs := []pairSpec{
 		{workload.Masstree(), workload.SPD()},
 		{workload.Specjbb(), workload.Shore()},
 		{workload.Canneal(), workload.Shore()},
@@ -296,38 +346,81 @@ func Colocated(o Options) map[string][]ColocatedRow {
 	if o.Quick {
 		pairs = pairs[:2]
 	}
-	systems := Systems()
-	type job struct {
-		pair int
-		sys  System
-	}
-	var jobs []job
-	for p := range pairs {
-		for _, sys := range systems {
-			jobs = append(jobs, job{p, sys})
-		}
-	}
-	results := make([]ColocatedRow, len(jobs))
-	forEach(len(jobs), o.parallel(), func(i int) {
-		j := jobs[i]
-		a, b := pairs[j.pair].a, pairs[j.pair].b
-		if o.Quick {
-			a.FootprintMB /= 2
-			b.FootprintMB /= 2
-		}
-		ra, rb := sim.RunColocated(sim.ColocatedConfig{
-			System: j.sys, WorkloadA: a, WorkloadB: b,
-			Fragmented: true,
-			Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
+	pairName := func(p pairSpec) string { return p.a.Name + "+" + p.b.Name }
+	rows := runGrid(o, pairs, Systems(),
+		[]Setting{{Name: "fragmented", Fragmented: true}}, pairName,
+		func(j gridJob[pairSpec]) ColocatedRow {
+			a, b := j.Unit.a, j.Unit.b
+			if o.Quick {
+				a.FootprintMB /= 2
+				b.FootprintMB /= 2
+			}
+			ra, rb := sim.RunColocated(sim.ColocatedConfig{
+				System: j.System, WorkloadA: a, WorkloadB: b,
+				Fragmented: j.Setting.Fragmented,
+				Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
+			})
+			return ColocatedRow{A: ra, B: rb}
 		})
-		results[i] = ColocatedRow{A: ra, B: rb}
-	})
 	out := make(map[string][]ColocatedRow)
-	for i, j := range jobs {
-		key := pairs[j.pair].a.Name + "+" + pairs[j.pair].b.Name
-		out[key] = append(out[key], results[i])
+	i := 0
+	for _, p := range pairs {
+		key := pairName(p)
+		for range Systems() {
+			out[key] = append(out[key], rows[i])
+			i++
+		}
 	}
 	return out
+}
+
+// manyVMMix is the heterogeneous workload rotation ManyVMs assigns to
+// VMs round-robin: stores, a JVM, and PARSEC kernels — the
+// consolidation mix of §6.5 extended past two VMs.
+func manyVMMix() []workload.Spec {
+	return []workload.Spec{
+		workload.Masstree(), workload.Specjbb(), workload.Canneal(),
+		workload.Redis(), workload.Memcached(), workload.SPD(),
+	}
+}
+
+// ManyVMRow reports one N-VM consolidation run: per-VM results under
+// one system, in VM order.
+type ManyVMRow struct {
+	System  string
+	Results []Result
+}
+
+// ManyVMs runs an N-VM consolidation sweep across the paper's eight
+// systems: n heterogeneous workloads (round-robined from the
+// consolidation mix) share one fragmented host via the unified
+// engine. This is the >2-VM regime the two-VM figures cannot show.
+func ManyVMs(o Options, n int) []ManyVMRow {
+	if n < 1 {
+		panic(fmt.Sprintf("repro: ManyVMs needs at least one VM, got %d", n))
+	}
+	mix := manyVMMix()
+	return runGrid(o, []int{n}, Systems(),
+		[]Setting{{Name: "fragmented", Fragmented: true}},
+		func(n int) string { return fmt.Sprintf("%d-vm mix", n) },
+		func(j gridJob[int]) ManyVMRow {
+			vms := make([]sim.VMConfig, j.Unit)
+			for i := range vms {
+				s := mix[i%len(mix)]
+				if o.Quick && s.FootprintMB > 32 {
+					s.FootprintMB /= 2
+				}
+				vms[i] = sim.VMConfig{System: j.System, Workload: s}
+			}
+			rs := sim.NewEngine(sim.EngineConfig{
+				VMs:        vms,
+				Fragmented: j.Setting.Fragmented,
+				Requests:   o.requests(),
+				Seed:       o.seed(),
+				Audit:      o.Audit,
+			}).Run()
+			return ManyVMRow{System: j.System.String(), Results: rs}
+		})
 }
 
 // --- formatting helpers ---

@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForEachPanicAttribution checks the worker-panic contract: a
+// panic inside one job is re-raised in the caller, carrying the job's
+// identity and original panic value, while the remaining jobs still
+// run to completion.
+func TestForEachPanicAttribution(t *testing.T) {
+	done := make([]bool, 8)
+	var msg string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("forEach swallowed the worker panic")
+			}
+			var ok bool
+			if msg, ok = r.(string); !ok {
+				t.Fatalf("re-raised panic is %T, want string", r)
+			}
+		}()
+		forEach(len(done), 3, func(i int) string {
+			return "job-five"
+		}, func(i int) {
+			if i == 5 {
+				panic("boom")
+			}
+			done[i] = true
+		})
+	}()
+	if !strings.Contains(msg, `"job-five"`) {
+		t.Errorf("panic message lacks job identity: %q", msg)
+	}
+	if !strings.Contains(msg, "boom") {
+		t.Errorf("panic message lacks original value: %q", msg)
+	}
+	for i, d := range done {
+		if i != 5 && !d {
+			t.Errorf("job %d never ran after another job panicked", i)
+		}
+	}
+}
+
+// TestForEachSerial covers the parallel<=1 clamp.
+func TestForEachSerial(t *testing.T) {
+	var order []int
+	forEach(4, 0, func(i int) string { return "serial" }, func(i int) {
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial forEach ran out of order: %v", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("serial forEach ran %d of 4 jobs", len(order))
+	}
+}

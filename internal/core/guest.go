@@ -1,43 +1,17 @@
 package core
 
-import (
-	"sort"
+// This file is the guest-policy façade: the GuestPolicy type, its
+// fault entry point, and the per-tick schedule that sequences Gemini's
+// guest-side components. The components themselves live in sibling
+// files along the paper's boundaries: EMA placement in ema.go, huge
+// booking and preallocation in booking.go, the promoter passes in
+// promoter.go, and the huge bucket in bucket.go.
 
+import (
 	"repro/internal/contig"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
-
-// offsetDesc is one EMA offset descriptor (§5): for the guest virtual
-// range [start, end) of a VMA, the guest physical placement target of
-// address va is (va - offset) — aligned to huge boundaries when the
-// anchor allowed it. Descriptors live in a self-organizing
-// (move-to-front) list, the structure the paper chose to keep lookup
-// cheap.
-type offsetDesc struct {
-	vma        *machine.VMA
-	start, end uint64
-	offset     int64 // gpa = gva - offset, in bytes
-	aligned    bool  // huge-boundary congruent placement
-}
-
-func (d *offsetDesc) covers(v *machine.VMA, va uint64) bool {
-	return d.vma == v && va >= d.start && va < d.end
-}
-
-// booking tracks one huge-page-sized guest physical region held for
-// alignment: either a buddy reservation (HB proper) or an owned block
-// recycled from the huge bucket.
-type booking struct {
-	hugeIdx    uint64
-	owned      bool // frames pre-owned (bucket origin)
-	claimed    [mem.PagesPerHuge]bool
-	nClaimed   int
-	expires    uint64
-	vaBase     uint64 // guest virtual huge region filling the booking
-	anchored   bool
-	prealloced bool
-}
 
 // GuestStats counts Gemini guest-side events.
 type GuestStats struct {
@@ -88,24 +62,6 @@ func newGuestPolicy(g *Gemini) *GuestPolicy {
 // Name implements machine.Policy.
 func (p *GuestPolicy) Name() string { return "gemini-guest" }
 
-// minAnchorRegion is the smallest free run worth tracking in the
-// contiguity list: smaller runs can neither host a huge page nor give
-// a meaningful sub-VMA anchor.
-const minAnchorRegion = 64
-
-// usefulRegions copies the allocator's free-region snapshot, keeping
-// only runs large enough to anchor on. The copy matters: the snapshot
-// is invalidated by the next allocation.
-func usefulRegions(rs []mem.Region) []mem.Region {
-	out := make([]mem.Region, 0, 64)
-	for _, r := range rs {
-		if r.Pages >= minAnchorRegion {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
 // KeepHuge implements machine.DemotionFilter: a guest huge page backed
 // by a host huge page survives memory pressure; mis-aligned ones are
 // demoted first (§8).
@@ -123,19 +79,16 @@ func (p *GuestPolicy) Bucket() *Bucket { return p.bucket }
 // TimeoutCtl exposes the Algorithm 1 controller for introspection.
 func (p *GuestPolicy) TimeoutCtl() *TimeoutCtl { return p.ctl }
 
-// findDesc locates the descriptor covering (vmaID, va) with
-// move-to-front self-organization.
-func (p *GuestPolicy) findDesc(v *machine.VMA, va uint64) *offsetDesc {
-	for i, d := range p.descs {
-		if d.covers(v, va) {
-			if i > 0 {
-				copy(p.descs[1:i+1], p.descs[:i])
-				p.descs[0] = d
-			}
-			return d
-		}
+// BucketReuseRate reports reused/taken for the huge bucket (§6.3
+// reports 88% on average), and whether any block was ever taken. It is
+// the narrow introspection surface result extraction uses, so callers
+// need not reach into Bucket internals.
+func (p *GuestPolicy) BucketReuseRate() (float64, bool) {
+	b := p.bucket
+	if b.Taken == 0 {
+		return 0, false
 	}
-	return nil
+	return float64(b.Reused) / float64(b.Taken), true
 }
 
 // OnFault implements machine.Policy: EMA placement.
@@ -167,156 +120,6 @@ func (p *GuestPolicy) OnFault(L *machine.Layer, va uint64, v *machine.VMA) machi
 	return machine.Decision{Kind: mem.Base}
 }
 
-// claim tries to allocate the descriptor's target frame for va,
-// through the booking machinery when the target lies in a booked
-// region.
-func (p *GuestPolicy) claim(L *machine.Layer, d *offsetDesc, va uint64) (uint64, bool) {
-	gpa := int64(va&^uint64(mem.PageSize-1)) - d.offset
-	if gpa < 0 {
-		return 0, false
-	}
-	frame := uint64(gpa) >> mem.PageShift
-	if frame >= L.Buddy.TotalPages() {
-		return 0, false
-	}
-	hi := frame / mem.PagesPerHuge
-	if bk, ok := p.bookings[hi]; ok {
-		idx := frame % mem.PagesPerHuge
-		if bk.owned {
-			if bk.claimed[idx] {
-				return 0, false
-			}
-			bk.claimed[idx] = true
-		} else {
-			if L.Buddy.AllocReservedPage(hi, frame) != nil {
-				return 0, false
-			}
-			bk.claimed[idx] = true
-		}
-		bk.nClaimed++
-		if !bk.anchored && d.aligned {
-			bk.anchored = true
-			bk.vaBase = va &^ uint64(mem.HugeSize-1)
-		}
-		return frame, true
-	}
-	if L.Buddy.AllocAt(frame, 0) == nil {
-		return frame, true
-	}
-	return 0, false
-}
-
-// anchor creates an offset descriptor for the untouched remainder of
-// the VMA starting at va, choosing guest physical space in the
-// paper's preference order: the huge bucket, booked mis-aligned host
-// huge regions, then the Gemini contiguity list (next-fit over whole
-// remainder, largest-region sub-VMA fallback).
-func (p *GuestPolicy) anchor(L *machine.Layer, v *machine.VMA, va uint64) *offsetDesc {
-	if p.contig.Len() == 0 && (!p.contigBuiltSet || p.contigBuiltAt != p.now) {
-		// At most one on-demand rebuild per tick: when fragmentation
-		// leaves no useful regions, rebuilding on every fault would
-		// dominate the run.
-		p.contig.Rebuild(usefulRegions(L.Buddy.FreeRegions()))
-		p.contigBuiltAt, p.contigBuiltSet = p.now, true
-	}
-	vaPage := va &^ uint64(mem.PageSize-1)
-	vaHugeBase := va &^ uint64(mem.HugeSize-1)
-	alignedRegion := machine.RegionInVMA(vaHugeBase, v)
-
-	if alignedRegion {
-		// 1. Huge bucket: freed well-aligned regions, reused whole.
-		if !p.g.cfg.DisableBucket {
-			if hi, ok := p.bucket.Take(p.stillHostHuge); ok {
-				bk := &booking{
-					hugeIdx:  hi,
-					owned:    true,
-					expires:  p.now + p.ctl.Timeout(),
-					vaBase:   vaHugeBase,
-					anchored: true,
-				}
-				p.bookings[hi] = bk
-				p.Stats.BucketAnchors++
-				return p.pushDesc(v, vaHugeBase, vaHugeBase+mem.HugeSize,
-					int64(vaHugeBase)-int64(hi*mem.HugeSize), true)
-			}
-		}
-		// 2. Booked mis-aligned host huge regions: filling one turns
-		// the host huge page well-aligned.
-		if !p.g.cfg.DisableBooking {
-			if hi, ok := p.takeUnanchoredBooking(); ok {
-				bk := p.bookings[hi]
-				bk.anchored = true
-				bk.vaBase = vaHugeBase
-				return p.pushDesc(v, vaHugeBase, vaHugeBase+mem.HugeSize,
-					int64(vaHugeBase)-int64(hi*mem.HugeSize), true)
-			}
-		}
-	}
-
-	if !alignedRegion {
-		// The VMA's unaligned head or tail: place only this partial
-		// window page-granularly, so the VMA's aligned interior
-		// regions keep the chance to anchor on aligned space.
-		end := vaHugeBase + mem.HugeSize
-		if end > v.End() {
-			end = v.End()
-		}
-		pages := (end - vaPage) / mem.PageSize
-		if r, ok := p.contig.TakeLargest(pages); ok {
-			return p.pushDesc(v, vaPage, vaPage+r.Pages*mem.PageSize,
-				int64(vaPage)-int64(r.Start*mem.PageSize), false)
-		}
-		return nil
-	}
-
-	// 3. Gemini contiguity list: next-fit for the whole remainder,
-	// huge-aligned so later in-place collapse works.
-	start := vaHugeBase
-	remPages := (v.End() - start) / mem.PageSize
-	want := remPages
-	if want > mem.PagesPerHuge*64 {
-		want = mem.PagesPerHuge * 64 // cap the span one anchor claims
-	}
-	want = (want + mem.PagesPerHuge - 1) &^ uint64(mem.PagesPerHuge-1)
-	if f, ok := p.contig.FindNextFitAligned(want, mem.PagesPerHuge); ok {
-		d := p.pushDesc(v, start, start+want*mem.PageSize,
-			int64(start)-int64(f*mem.PageSize), true)
-		p.bookSpan(L, f, want)
-		return d
-	}
-	// No run fits the whole remainder (fragmentation): degrade to one
-	// aligned region — the sub-VMA mechanism at its finest grain,
-	// still able to form a huge page.
-	if f, ok := p.contig.FindNextFitAligned(mem.PagesPerHuge, mem.PagesPerHuge); ok {
-		d := p.pushDesc(v, start, start+mem.HugeSize,
-			int64(start)-int64(f*mem.PageSize), true)
-		p.bookSpan(L, f, mem.PagesPerHuge)
-		return d
-	}
-	// Sub-VMA fallback: largest free region, one region's span at
-	// most, page-granular.
-	take := remPages
-	if take > mem.PagesPerHuge {
-		take = mem.PagesPerHuge
-	}
-	if r, ok := p.contig.TakeLargest(take); ok {
-		return p.pushDesc(v, start, start+r.Pages*mem.PageSize,
-			int64(start)-int64(r.Start*mem.PageSize), r.Start%mem.PagesPerHuge == 0)
-	}
-	return nil
-}
-
-// pushDesc records a new descriptor at the front of the list.
-func (p *GuestPolicy) pushDesc(v *machine.VMA, start, end uint64, offset int64, aligned bool) *offsetDesc {
-	if end > v.End() {
-		end = v.End()
-	}
-	d := &offsetDesc{vma: v, start: start, end: end, offset: offset, aligned: aligned}
-	p.descs = append([]*offsetDesc{d}, p.descs...)
-	p.Stats.Anchors++
-	return d
-}
-
 // stillHostHuge approves bucket blocks that are still backed by a host
 // huge page.
 func (p *GuestPolicy) stillHostHuge(hi uint64) bool {
@@ -325,44 +128,6 @@ func (p *GuestPolicy) stillHostHuge(hi uint64) bool {
 	}
 	_, isHuge, _ := p.g.vm.EPT.Table.LookupHugeRegion(hi * mem.HugeSize)
 	return isHuge
-}
-
-// takeUnanchoredBooking returns the lowest unanchored booked region.
-func (p *GuestPolicy) takeUnanchoredBooking() (uint64, bool) {
-	var best uint64
-	found := false
-	for hi, bk := range p.bookings {
-		if bk.anchored || bk.owned {
-			continue
-		}
-		if !found || hi < best {
-			best = hi
-			found = true
-		}
-	}
-	return best, found
-}
-
-// bookSpan reserves the huge regions of a freshly anchored span
-// (booking "to fit the entire VMA", §5), within budget limits.
-func (p *GuestPolicy) bookSpan(L *machine.Layer, startFrame, pages uint64) {
-	if p.g.cfg.DisableBooking {
-		return
-	}
-	for f := startFrame; f+mem.PagesPerHuge <= startFrame+pages; f += mem.PagesPerHuge {
-		if len(p.bookings) >= p.g.cfg.MaxBookings {
-			return
-		}
-		hi := f / mem.PagesPerHuge
-		if _, ok := p.bookings[hi]; ok {
-			continue
-		}
-		if _, err := L.Buddy.Reserve(hi); err != nil {
-			continue
-		}
-		p.bookings[hi] = &booking{hugeIdx: hi, expires: p.now + p.ctl.Timeout()}
-		p.Stats.BookingsCreated++
-	}
 }
 
 // OnFreeHugeBlock implements machine.FreeObserver: freed well-aligned
@@ -413,265 +178,6 @@ func (p *GuestPolicy) Tick(L *machine.Layer) {
 	p.khugepagedPass(L)
 }
 
-// khugepagedPass is the "existing system component for page
-// coalescing" (§3) that Gemini builds on: after the targeted work, a
-// bounded khugepaged-style sweep promotes well-utilized regions that
-// EMA could not place contiguously (e.g. when fragmentation denied an
-// aligned anchor and blocks only became available later).
-func (p *GuestPolicy) khugepagedPass(L *machine.Layer) {
-	if p.g.cfg.PromotePeriod > 1 && p.now%uint64(p.g.cfg.PromotePeriod) != 0 {
-		return
-	}
-	const utilThreshold = 448
-	budget := p.g.cfg.PromoteBudget
-	var regions []uint64
-	L.Space.ForEachHugeRegion(func(va uint64, v *machine.VMA) bool {
-		if machine.RegionInVMA(va, v) {
-			regions = append(regions, va)
-		}
-		return true
-	})
-	if len(regions) == 0 {
-		return
-	}
-	scanned := 0
-	for i := 0; i < len(regions) && scanned < 128 && budget > 0; i++ {
-		va := regions[(p.khCursor+i)%len(regions)]
-		scanned++
-		L.Stats.BackgroundCycles += L.Costs.ScanRegion
-		_, isHuge, present := L.Table.LookupHugeRegion(va)
-		if isHuge || present < utilThreshold {
-			continue
-		}
-		info := L.Table.InspectCollapse(va)
-		if info.Present == mem.PagesPerHuge && info.Contiguous {
-			if L.PromoteInPlace(va) == nil {
-				budget--
-			}
-			continue
-		}
-		if L.PromoteMigrate(va, nil) == nil {
-			budget--
-		}
-	}
-	p.khCursor = (p.khCursor + scanned) % len(regions)
-}
-
-// serviceBookings completes, preallocates, or expires bookings.
-func (p *GuestPolicy) serviceBookings(L *machine.Layer) {
-	if len(p.bookings) == 0 {
-		return
-	}
-	keys := make([]uint64, 0, len(p.bookings))
-	for hi := range p.bookings {
-		keys = append(keys, hi)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, hi := range keys {
-		bk := p.bookings[hi]
-		if bk.nClaimed == mem.PagesPerHuge {
-			p.finishBooking(L, bk, true)
-			continue
-		}
-		// Huge preallocation (§4.2): at least PreallocThreshold pages
-		// claimed and low fragmentation.
-		if bk.anchored && !bk.prealloced &&
-			bk.nClaimed >= p.g.cfg.PreallocThreshold &&
-			L.Buddy.FMFI(mem.HugeOrder) <= p.g.cfg.PreallocMaxFMFI {
-			p.prealloc(L, bk)
-			if bk.nClaimed == mem.PagesPerHuge {
-				p.finishBooking(L, bk, true)
-				continue
-			}
-		}
-		if p.now >= bk.expires {
-			p.finishBooking(L, bk, false)
-			p.Stats.BookingsExpired++
-		}
-	}
-}
-
-// finishBooking dissolves a booking. When complete is true the region
-// is fully claimed and the anchored guest virtual region is collapsed
-// in place, forming a well-aligned huge page when the region was a
-// (mis-aligned) host huge page.
-func (p *GuestPolicy) finishBooking(L *machine.Layer, bk *booking, complete bool) {
-	delete(p.bookings, bk.hugeIdx)
-	if bk.owned {
-		// Return unclaimed frames of the bucket-origin block.
-		start := bk.hugeIdx * mem.PagesPerHuge
-		for i := 0; i < mem.PagesPerHuge; i++ {
-			if !bk.claimed[i] {
-				L.Buddy.Free(start+uint64(i), 0)
-			}
-		}
-	} else {
-		if _, err := L.Buddy.FinishReservation(bk.hugeIdx); err != nil {
-			panic("core: booking lost its reservation: " + err.Error())
-		}
-	}
-	if complete && bk.anchored {
-		if L.PromoteInPlace(bk.vaBase) == nil {
-			p.Stats.BookingsCompleted++
-		}
-	}
-}
-
-// prealloc maps the booking's unclaimed pages ahead of demand so the
-// region can be promoted early (§4.2, "huge preallocation").
-func (p *GuestPolicy) prealloc(L *machine.Layer, bk *booking) {
-	bk.prealloced = true
-	start := bk.hugeIdx * mem.PagesPerHuge
-	for i := 0; i < mem.PagesPerHuge; i++ {
-		if bk.claimed[i] {
-			continue
-		}
-		va := bk.vaBase + uint64(i)*mem.PageSize
-		if _, _, mapped := L.Table.Lookup(va); mapped {
-			// The VA is taken by another descriptor's placement; the
-			// region cannot complete.
-			return
-		}
-		frame := start + uint64(i)
-		if !bk.owned {
-			if L.Buddy.AllocReservedPage(bk.hugeIdx, frame) != nil {
-				return
-			}
-		}
-		if err := L.Table.Map4K(va, frame); err != nil {
-			panic("core: prealloc Map4K: " + err.Error())
-		}
-		bk.claimed[i] = true
-		bk.nClaimed++
-		L.Stats.BackgroundCycles += L.Costs.FaultBase
-	}
-	p.Stats.Preallocs++
-}
-
-// bookMisalignedHost books type-1 mis-aligned host huge regions so
-// they stay free until the guest can form a matching huge page.
-func (p *GuestPolicy) bookMisalignedHost(L *machine.Layer) {
-	if p.g.cfg.DisableBooking || p.g.vm == nil {
-		return
-	}
-	type1, _ := p.g.MisalignedHostRegions()
-	budget := p.g.cfg.BookBudget
-	for _, hi := range type1 {
-		if budget == 0 || len(p.bookings) >= p.g.cfg.MaxBookings {
-			return
-		}
-		if _, booked := p.bookings[hi]; booked || p.bucket.Contains(hi) {
-			continue
-		}
-		if _, err := L.Buddy.Reserve(hi); err != nil {
-			continue
-		}
-		p.bookings[hi] = &booking{hugeIdx: hi, expires: p.now + p.ctl.Timeout()}
-		p.Stats.BookingsCreated++
-		budget--
-	}
-}
-
-// fixType2 consolidates type-2 mis-aligned host huge pages: the guest
-// pages occupying the region are evacuated, then the dominant guest
-// virtual region is migrated into it and promoted, forming a
-// well-aligned pair.
-func (p *GuestPolicy) fixType2(L *machine.Layer) {
-	if p.g.vm == nil {
-		return
-	}
-	if p.g.cfg.PromotePeriod > 1 && p.now%uint64(p.g.cfg.PromotePeriod) != 0 {
-		return
-	}
-	_, type2 := p.g.MisalignedHostRegions()
-	budget := p.g.cfg.PromoteBudget
-	for _, hi := range type2 {
-		if budget == 0 {
-			return
-		}
-		if p.consolidate(L, hi) {
-			p.Stats.Type2Fixes++
-			budget--
-		}
-	}
-}
-
-// consolidate performs one type-2 fix on the GPA region hi.
-func (p *GuestPolicy) consolidate(L *machine.Layer, hi uint64) bool {
-	dom, n, ok := p.g.DominantGVA(hi)
-	if !ok || n < 64 {
-		return false // not worth 512 copies
-	}
-	v := L.Space.Find(dom)
-	if v == nil || !machine.RegionInVMA(dom, v) {
-		return false
-	}
-	if _, isHuge, _ := L.Table.LookupHugeRegion(dom); isHuge {
-		return false
-	}
-	if _, booked := p.bookings[hi]; booked {
-		return false
-	}
-	start := hi * mem.PagesPerHuge
-	region := mem.Region{Start: start, Pages: mem.PagesPerHuge}
-	// Step 1: claim every still-free frame of the region, so that the
-	// relocation allocations below can never land inside it.
-	var claimed []uint64
-	for f := start; f < start+mem.PagesPerHuge; f++ {
-		if L.Buddy.AllocAt(f, 0) == nil {
-			claimed = append(claimed, f)
-		}
-	}
-	rollback := func() {
-		for _, f := range claimed {
-			L.Buddy.Free(f, 0)
-		}
-	}
-	// Step 2: evacuate every live guest mapping out of the region.
-	// Their old frames are kept (not freed) so we end up owning them.
-	owned := len(claimed)
-	rev := p.g.ReverseMappings(hi)
-	var evacuated []uint64
-	for _, e := range rev {
-		f, kind, live := L.Table.Lookup(e.VA)
-		if !live || kind != mem.Base || f != e.Frame || !region.Contains(f) {
-			continue // stale scan entry
-		}
-		dest, err := L.Buddy.Alloc(0)
-		if err != nil {
-			break
-		}
-		if _, err := L.Table.Remap4K(e.VA, dest); err != nil {
-			panic("core: consolidate remap: " + err.Error())
-		}
-		evacuated = append(evacuated, f)
-		owned++
-		L.Stats.MigratedPages++
-		L.Stats.BackgroundCycles += L.Costs.CopyPage
-	}
-	L.AddStall(L.Costs.Shootdown + uint64(len(evacuated))*L.Costs.CachePollution)
-	if owned != mem.PagesPerHuge {
-		// Frames the scan missed (or unmovable allocations) remain:
-		// the region cannot be consolidated this round.
-		rollback()
-		for _, f := range evacuated {
-			L.Buddy.Free(f, 0)
-		}
-		return false
-	}
-	// Step 3: the region is wholly ours; migrate the dominant guest
-	// virtual region into it and promote.
-	target := start
-	if err := L.PromoteMigrate(dom, &target); err != nil {
-		rollback()
-		for _, f := range evacuated {
-			L.Buddy.Free(f, 0)
-		}
-		return false
-	}
-	return true
-}
-
 // expireBucket ages the bucket, force-releasing under memory pressure
 // or severe fragmentation.
 func (p *GuestPolicy) expireBucket(L *machine.Layer) {
@@ -681,31 +187,4 @@ func (p *GuestPolicy) expireBucket(L *machine.Layer) {
 	force := float64(L.Buddy.FreePages()) <
 		p.g.cfg.BucketMinFree*float64(L.Buddy.TotalPages())
 	p.bucket.Expire(L, p.now, force)
-}
-
-// collapsePass promotes fully-populated, contiguous, aligned regions
-// in place — the cheap path EMA placement makes common. It never
-// migrates, so it cannot create excessive huge pages.
-func (p *GuestPolicy) collapsePass(L *machine.Layer) {
-	budget := 8
-	for _, d := range p.descs {
-		if budget == 0 {
-			return
-		}
-		if !d.aligned {
-			continue
-		}
-		for va := d.start; va+mem.HugeSize <= d.end && budget > 0; va += mem.HugeSize {
-			L.Stats.BackgroundCycles += L.Costs.ScanRegion
-			if _, isHuge, _ := L.Table.LookupHugeRegion(va); isHuge {
-				continue
-			}
-			info := L.Table.InspectCollapse(va)
-			if info.Present == mem.PagesPerHuge && info.Contiguous {
-				if L.PromoteInPlace(va) == nil {
-					budget--
-				}
-			}
-		}
-	}
 }

@@ -50,6 +50,24 @@ func NewMachine(hostPages uint64, costs CostModel) *Machine {
 	}
 }
 
+// VMSetup bundles everything needed to instantiate one VM, so N-VM
+// engines can build a machine from a slice of setups without
+// positional-argument plumbing.
+type VMSetup struct {
+	// GuestPages is the guest physical memory size in frames.
+	GuestPages uint64
+	// GuestPolicy and HostPolicy manage the guest and EPT layers.
+	GuestPolicy Policy
+	HostPolicy  Policy
+	// TLB configures the VM's translation cache.
+	TLB tlb.Config
+}
+
+// AddVMSetup creates a VM from a setup bundle. Equivalent to AddVM.
+func (m *Machine) AddVMSetup(s VMSetup) *VM {
+	return m.AddVM(s.GuestPages, s.GuestPolicy, s.HostPolicy, s.TLB)
+}
+
 // AddVM creates a VM with guestPages of guest physical memory, the
 // given per-layer policies, and a TLB with the given configuration.
 func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg tlb.Config) *VM {

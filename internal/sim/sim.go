@@ -3,20 +3,21 @@
 // clean-slate VM (§6.2), reused VM (§6.3), fragmented or pristine
 // memory, and collocated VMs (§6.5). Each run is deterministic for a
 // given seed.
+//
+// All settings execute on the unified N-VM Engine (engine.go); Run,
+// RunColocated, and RunMany translate their configurations into an
+// EngineConfig and delegate.
 package sim
 
 import (
 	"fmt"
 
 	"repro/internal/audit"
-	"repro/internal/buddy"
 	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/machine"
 	"repro/internal/mem"
-	"repro/internal/metrics"
 	"repro/internal/policy"
-	"repro/internal/tlb"
 	"repro/internal/workload"
 )
 
@@ -286,83 +287,44 @@ func buildPolicies(sys System) (machine.Policy, machine.Policy, *core.Gemini) {
 	}
 }
 
-// Run executes one experiment. It panics when cfg fails Validate.
+// engineConfig translates a single-VM Config into its EngineConfig.
+// VM 0's derived seed streams coincide with the historic single-VM
+// streams, so no overrides are needed.
+func (c Config) engineConfig() EngineConfig {
+	return EngineConfig{
+		VMs: []VMConfig{{
+			System:     c.System,
+			Workload:   c.Workload,
+			GuestMemMB: c.GuestMemMB,
+			ReusedVM:   c.ReusedVM,
+		}},
+		HostMemMB:         c.HostMemMB,
+		Fragmented:        c.Fragmented,
+		FragTarget:        c.FragTarget,
+		Requests:          c.Requests,
+		RequestsPerTick:   c.RequestsPerTick,
+		WarmupRequests:    c.WarmupRequests,
+		RecoverEveryTicks: c.RecoverEveryTicks,
+		Audit:             c.Audit,
+		AuditEvery:        c.AuditEvery,
+		Seed:              c.Seed,
+	}
+}
+
+// Run executes one experiment on a one-VM engine. It panics when cfg
+// fails Validate.
 func Run(cfg Config) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	cfg = cfg.withDefaults()
-	hostPages := uint64(cfg.HostMemMB) << 20 >> mem.PageShift
-	guestPages := uint64(cfg.GuestMemMB) << 20 >> mem.PageShift
-
-	m := machine.NewMachine(hostPages, machine.DefaultCosts())
-	gp, hp, gem := buildPolicies(cfg.System)
-	vm := m.AddVM(guestPages, gp, hp, tlb.DefaultConfig())
-	if gem != nil {
-		gem.Attach(vm)
-	}
-	var fragmenters []*frag.Fragmenter
-	if cfg.Fragmented {
-		hf := frag.New(m.HostBuddy, cfg.Seed+101)
-		hf.FragmentTo(cfg.FragTarget, 0.55)
-		gf := frag.New(vm.Guest.Buddy, cfg.Seed+202)
-		gf.FragmentTo(cfg.FragTarget, 0.5)
-		fragmenters = []*frag.Fragmenter{hf, gf}
-	}
-	rec := &recovery{fragmenters: fragmenters, every: cfg.RecoverEveryTicks}
-	if cfg.Audit {
-		rec.auditEvery = cfg.AuditEvery
-		rec.auditors = []audit.Auditable{m}
-		if gem != nil {
-			rec.auditors = append(rec.auditors, gem)
-		}
-	}
-	if cfg.ReusedVM {
-		runPredecessor(m, vm, cfg, rec)
-	}
-	res := runWorkload(m, vm, cfg.Workload, cfg, rec)
-	rec.audit() // completion audit: the final state must be consistent
-	res.System = cfg.System.String()
-	if gem != nil {
-		// Bucket reuse rate (§6.3 reports 88% on average).
-		if gpPol, ok := gp.(*core.GuestPolicy); ok {
-			b := gpPol.Bucket()
-			if b.Taken > 0 {
-				res.BucketReuseRate = float64(b.Reused) / float64(b.Taken)
-			}
-		}
-	}
-	return res
+	return NewEngine(cfg.withDefaults().engineConfig()).Run()[0]
 }
 
-// runPredecessor executes the SVM workload to completion in the VM
-// and tears it down, leaving the VM "reused" (§6.3): guest memory
-// freed, EPT backing retained.
-func runPredecessor(m *machine.Machine, vm *machine.VM, cfg Config, rec *recovery) {
-	spec := workload.SVM()
-	// The predecessor's working set should dominate guest memory as
-	// the paper's ~30 GB SVM run does on a 32 GB VM.
-	spec.FootprintMB = cfg.GuestMemMB * 2 / 5
-	w := workload.New(spec, vm, cfg.Seed+303)
-	for i := 0; i < cfg.Requests/4; i++ {
-		w.Step(1)
-		if i%cfg.RequestsPerTick == 0 {
-			rec.tick(m)
-		}
-	}
-	for i := 0; i < 40; i++ {
-		rec.tick(m)
-	}
-	w.Teardown()
-	vm.ResetGuestProcess()
-	rec.tick(m)
-}
-
-// tickAndRecover advances the daemons and lets fragmented memory
-// recover slowly, modelling background compaction and other tenants
-// freeing memory: this is what makes huge pages form asynchronously
-// (and so largely independently at the two layers) rather than all at
-// first touch.
+// recovery advances the daemons and lets fragmented memory recover
+// slowly, modelling background compaction and other tenants freeing
+// memory: this is what makes huge pages form asynchronously (and so
+// largely independently at the two layers) rather than all at first
+// touch.
 type recovery struct {
 	fragmenters []*frag.Fragmenter
 	every       int
@@ -396,77 +358,28 @@ func (r *recovery) audit() {
 	}
 }
 
-// runWorkload performs warmup and measurement of one workload in one
-// VM, collecting the run's metrics.
-func runWorkload(m *machine.Machine, vm *machine.VM, spec workload.Spec, cfg Config, rec *recovery) Result {
-	w := workload.New(spec, vm, cfg.Seed+404)
-	migBase := vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages
-
-	// Warmup: reach steady state (huge pages formed, TLB warm). The
-	// daemons tick densely here so promotion bursts complete before
-	// measurement, as they would over a long real run.
-	for i := 0; i < cfg.WarmupRequests; i++ {
-		w.Step(1)
-		if i%cfg.RequestsPerTick == 0 {
-			rec.tick(m)
-		}
-	}
-	for i := 0; i < 80; i++ {
-		rec.tick(m)
-	}
-	vm.TLB.ResetStats()
-
-	// Measurement.
-	lat := metrics.NewHistogram()
-	var fgCycles, ops, accesses uint64
-	bgStart := vm.Guest.Stats.BackgroundCycles + vm.EPT.Stats.BackgroundCycles
-	for i := 0; i < cfg.Requests; i++ {
-		st := w.Step(1)
-		fgCycles += st.Cycles
-		ops += st.Ops
-		accesses += uint64(spec.RequestPages)
-		for _, l := range st.Latencies {
-			lat.Record(l)
-		}
-		if i%cfg.RequestsPerTick == 0 {
-			rec.tick(m)
-		}
-	}
-	bg := vm.Guest.Stats.BackgroundCycles + vm.EPT.Stats.BackgroundCycles - bgStart
-
-	ts := vm.TLB.Stats()
-	a := vm.Alignment()
-	// Daemons run on spare cores: their interference reaches the
-	// workload through the stalls already charged into step cycles
-	// (shootdowns, cache pollution), not by stealing vCPU time.
-	res := Result{
-		Workload:            spec.Name,
-		Throughput:          float64(ops) / float64(fgCycles) * 1e6,
-		TLBMissesPerKAccess: float64(ts.Misses) / float64(accesses) * 1000,
-		WalkCyclesPerAccess: float64(ts.WalkCycles) / float64(accesses),
-		AlignedRate:         a.Rate(),
-		GuestHuge:           a.GuestHuge,
-		HostHuge:            a.HostHuge,
-		GuestFMFI:           vm.Guest.Buddy.FMFI(mem.HugeOrder),
-		MigratedPages:       vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages - migBase,
-		BackgroundCycles:    bg,
-	}
-	if spec.LatencySensitive {
-		res.MeanLatency = lat.Mean()
-		res.P99Latency = lat.P99()
-	}
-	return res
-}
-
 // ColocatedConfig describes the §6.5 setting: two VMs on one host.
+// Its defaults deliberately differ from Config's single-VM defaults —
+// smaller guests (768 MB), fewer requests (4000), and a softer
+// fragmentation target (0.9 at density 0.4) — matching the paper's
+// consolidation runs; see DESIGN.md §2.
 type ColocatedConfig struct {
 	System     System
 	WorkloadA  workload.Spec
 	WorkloadB  workload.Spec
 	Fragmented bool
+	// FragTarget is the FMFI the fragmenters drive toward
+	// (default 0.9 in the consolidated setting).
+	FragTarget float64
 	GuestMemMB int
 	HostMemMB  int
 	Requests   int
+	// RequestsPerTick paces the background daemons (default 64), as
+	// in Config.RequestsPerTick.
+	RequestsPerTick int
+	// RecoverEveryTicks paces fragmentation recovery (default 1), as
+	// in Config.RecoverEveryTicks.
+	RecoverEveryTicks int
 	// Audit enables the periodic and completion invariant audit, as
 	// in Config.Audit (every AuditEvery ticks, default 32).
 	Audit      bool
@@ -474,137 +387,93 @@ type ColocatedConfig struct {
 	Seed       int64
 }
 
+// base folds the colocated-specific default values into a single-VM
+// Config and routes it through the shared withDefaults path, so the
+// two settings cannot drift on shared knobs again.
+func (cc ColocatedConfig) base() Config {
+	c := Config{
+		System: cc.System, Workload: cc.WorkloadA, Fragmented: cc.Fragmented,
+		FragTarget: cc.FragTarget, GuestMemMB: cc.GuestMemMB, HostMemMB: cc.HostMemMB,
+		Requests: cc.Requests, RequestsPerTick: cc.RequestsPerTick,
+		RecoverEveryTicks: cc.RecoverEveryTicks,
+		Audit:             cc.Audit, AuditEvery: cc.AuditEvery, Seed: cc.Seed,
+	}
+	// Deliberate consolidation-setting defaults (DESIGN.md §2).
+	if c.GuestMemMB == 0 {
+		c.GuestMemMB = 768
+	}
+	if c.Requests == 0 {
+		c.Requests = 4000
+	}
+	if c.FragTarget == 0 {
+		c.FragTarget = 0.9
+	}
+	return c.withDefaults()
+}
+
 // Validate reports whether the collocated configuration is runnable.
 func (cc ColocatedConfig) Validate() error {
-	single := Config{
-		System: cc.System, Workload: cc.WorkloadA, Fragmented: cc.Fragmented,
-		GuestMemMB: cc.GuestMemMB, HostMemMB: cc.HostMemMB,
-		Requests: cc.Requests, AuditEvery: cc.AuditEvery, Seed: cc.Seed,
-	}
+	single := cc.base()
+	single.Workload = cc.WorkloadA
 	if err := single.Validate(); err != nil {
 		return err
 	}
 	single.Workload = cc.WorkloadB
-	return single.Validate()
+	if err := single.Validate(); err != nil {
+		return err
+	}
+	return cc.engineConfig().Validate()
 }
 
-// RunColocated runs two VMs side by side, interleaving their request
-// streams, and returns per-VM results. It panics when cc fails
-// Validate.
+// colocatedFragDensity is the retained-population density of the
+// consolidation fragmenters (the historical §6.5 setting).
+const colocatedFragDensity = 0.4
+
+// engineConfig translates a ColocatedConfig into its two-VM
+// EngineConfig, overriding the engine's derived seed streams with the
+// historical colocated streams (host/guestA/guestB fragmenters at
+// Seed+11/+12/+13, workloads at Seed+21/+22).
+func (cc ColocatedConfig) engineConfig() EngineConfig {
+	base := cc.base()
+	vm := func(spec workload.Spec, workloadSeed, fragSeed int64) VMConfig {
+		return VMConfig{
+			System:       cc.System,
+			Workload:     spec,
+			GuestMemMB:   base.GuestMemMB,
+			WorkloadSeed: workloadSeed,
+			GuestFrag: &FragSpec{
+				Seed: fragSeed, Target: base.FragTarget, Density: colocatedFragDensity,
+			},
+		}
+	}
+	return EngineConfig{
+		VMs: []VMConfig{
+			vm(cc.WorkloadA, cc.Seed+21, cc.Seed+12),
+			vm(cc.WorkloadB, cc.Seed+22, cc.Seed+13),
+		},
+		HostMemMB:  base.HostMemMB,
+		Fragmented: cc.Fragmented,
+		FragTarget: base.FragTarget,
+		HostFrag: &FragSpec{
+			Seed: cc.Seed + 11, Target: base.FragTarget, Density: colocatedFragDensity,
+		},
+		Requests:          base.Requests,
+		RequestsPerTick:   base.RequestsPerTick,
+		WarmupRequests:    base.WarmupRequests,
+		RecoverEveryTicks: base.RecoverEveryTicks,
+		Audit:             cc.Audit,
+		AuditEvery:        base.AuditEvery,
+		Seed:              cc.Seed,
+	}
+}
+
+// RunColocated runs two VMs side by side on one engine, interleaving
+// their request streams, and returns per-VM results. It panics when
+// cc fails Validate.
 func RunColocated(cc ColocatedConfig) (Result, Result) {
 	if err := cc.Validate(); err != nil {
 		panic(err)
 	}
-	if cc.GuestMemMB == 0 {
-		cc.GuestMemMB = 768
-	}
-	if cc.HostMemMB == 0 {
-		cc.HostMemMB = 2560
-	}
-	if cc.Requests == 0 {
-		cc.Requests = 4000
-	}
-	hostPages := uint64(cc.HostMemMB) << 20 >> mem.PageShift
-	guestPages := uint64(cc.GuestMemMB) << 20 >> mem.PageShift
-	m := machine.NewMachine(hostPages, machine.DefaultCosts())
-
-	gpA, hpA, gemA := buildPolicies(cc.System)
-	vmA := m.AddVM(guestPages, gpA, hpA, tlb.DefaultConfig())
-	if gemA != nil {
-		gemA.Attach(vmA)
-	}
-	gpB, hpB, gemB := buildPolicies(cc.System)
-	vmB := m.AddVM(guestPages, gpB, hpB, tlb.DefaultConfig())
-	if gemB != nil {
-		gemB.Attach(vmB)
-	}
-	var fragmenters []*frag.Fragmenter
-	if cc.Fragmented {
-		for i, b := range []*buddy.Allocator{m.HostBuddy, vmA.Guest.Buddy, vmB.Guest.Buddy} {
-			f := frag.New(b, cc.Seed+11+int64(i))
-			f.FragmentTo(0.9, 0.4)
-			fragmenters = append(fragmenters, f)
-		}
-	}
-	rec := &recovery{fragmenters: fragmenters, every: 1}
-	if cc.Audit {
-		rec.auditEvery = cc.AuditEvery
-		if rec.auditEvery == 0 {
-			rec.auditEvery = 32
-		}
-		rec.auditors = []audit.Auditable{m}
-		for _, gem := range []*core.Gemini{gemA, gemB} {
-			if gem != nil {
-				rec.auditors = append(rec.auditors, gem)
-			}
-		}
-	}
-	wA := workload.New(cc.WorkloadA, vmA, cc.Seed+21)
-	wB := workload.New(cc.WorkloadB, vmB, cc.Seed+22)
-
-	// Same run structure as single-VM experiments: warmup to steady
-	// state, settle ticks so promotion bursts complete, then measure.
-	for i := 0; i < cc.Requests; i++ {
-		wA.Step(1)
-		wB.Step(1)
-		if i%64 == 0 {
-			rec.tick(m)
-		}
-	}
-	for i := 0; i < 80; i++ {
-		rec.tick(m)
-	}
-	vmA.TLB.ResetStats()
-	vmB.TLB.ResetStats()
-
-	latA, latB := metrics.NewHistogram(), metrics.NewHistogram()
-	var fgA, fgB, opsA, opsB, accA, accB uint64
-	bgA0 := vmA.Guest.Stats.BackgroundCycles + vmA.EPT.Stats.BackgroundCycles
-	bgB0 := vmB.Guest.Stats.BackgroundCycles + vmB.EPT.Stats.BackgroundCycles
-	for i := 0; i < cc.Requests; i++ {
-		sa := wA.Step(1)
-		sb := wB.Step(1)
-		fgA += sa.Cycles
-		fgB += sb.Cycles
-		opsA += sa.Ops
-		opsB += sb.Ops
-		accA += uint64(cc.WorkloadA.RequestPages)
-		accB += uint64(cc.WorkloadB.RequestPages)
-		for _, l := range sa.Latencies {
-			latA.Record(l)
-		}
-		for _, l := range sb.Latencies {
-			latB.Record(l)
-		}
-		if i%64 == 0 {
-			rec.tick(m)
-		}
-	}
-	bgA := vmA.Guest.Stats.BackgroundCycles + vmA.EPT.Stats.BackgroundCycles - bgA0
-	bgB := vmB.Guest.Stats.BackgroundCycles + vmB.EPT.Stats.BackgroundCycles - bgB0
-	rec.audit() // completion audit
-
-	mk := func(vm *machine.VM, spec workload.Spec, fg, bg, ops, acc uint64, lat *metrics.Histogram) Result {
-		ts := vm.TLB.Stats()
-		al := vm.Alignment()
-		r := Result{
-			System:              cc.System.String(),
-			Workload:            spec.Name,
-			Throughput:          float64(ops) / float64(fg+bg) * 1e6,
-			TLBMissesPerKAccess: float64(ts.Misses) / float64(acc) * 1000,
-			WalkCyclesPerAccess: float64(ts.WalkCycles) / float64(acc),
-			AlignedRate:         al.Rate(),
-			GuestHuge:           al.GuestHuge,
-			HostHuge:            al.HostHuge,
-			GuestFMFI:           vm.Guest.Buddy.FMFI(mem.HugeOrder),
-			BackgroundCycles:    bg,
-		}
-		if spec.LatencySensitive {
-			r.MeanLatency = lat.Mean()
-			r.P99Latency = lat.P99()
-		}
-		return r
-	}
-	return mk(vmA, cc.WorkloadA, fgA, bgA, opsA, accA, latA),
-		mk(vmB, cc.WorkloadB, fgB, bgB, opsB, accB, latB)
+	rs := NewEngine(cc.engineConfig()).Run()
+	return rs[0], rs[1]
 }
