@@ -19,7 +19,10 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -63,6 +66,44 @@ const (
 	GeminiStaticTimeout = sim.GeminiStaticTimeout
 	GeminiNoPrealloc    = sim.GeminiNoPrealloc
 )
+
+// Flight-recorder re-exports. A TraceRecorder attached to Config.Trace
+// (or Options.Trace, EngineConfig.Trace, ColocatedConfig.Trace) records
+// structured events and per-tick samples during the run; the run's
+// Result carries them in Timeline and Events. See package
+// repro/internal/trace for the schema and determinism contract.
+type (
+	// TraceConfig sizes the recorder (sample stride, ring capacity).
+	TraceConfig = trace.Config
+	// TraceRecorder is the flight recorder shared by all layers of a run.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one structured trace event.
+	TraceEvent = trace.Event
+	// TraceEventType enumerates the event kinds (Promote, Demote, ...).
+	TraceEventType = trace.EventType
+	// TraceSample is one time-series snapshot of a VM or the host.
+	TraceSample = trace.Sample
+)
+
+// NewTraceRecorder builds a flight recorder; zero TraceConfig fields
+// take the package defaults.
+func NewTraceRecorder(cfg TraceConfig) *TraceRecorder { return trace.NewRecorder(cfg) }
+
+// WriteTraceEvents writes events as JSONL, one event object per line.
+func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
+	return trace.WriteEventsJSONL(w, events)
+}
+
+// ReadTraceEvents decodes a JSONL event stream.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return trace.ReadEventsJSONL(r) }
+
+// WriteTraceSeries writes the sample series as CSV with a header row.
+func WriteTraceSeries(w io.Writer, samples []TraceSample) error {
+	return trace.WriteSeriesCSV(w, samples)
+}
+
+// ReadTraceSeries decodes a series CSV written by WriteTraceSeries.
+func ReadTraceSeries(r io.Reader) ([]TraceSample, error) { return trace.ReadSeriesCSV(r) }
 
 // Run executes one experiment configuration.
 func Run(cfg Config) Result { return sim.Run(cfg) }

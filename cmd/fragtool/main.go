@@ -7,15 +7,25 @@
 // Usage:
 //
 //	fragtool [-mem 1024] [-target 0.9] [-consume 0.5] [-seed 1] [-recover 16]
+//	fragtool -series FILE
+//
+// With -series FILE the tool instead summarizes a flight-recorder
+// sample series (the CSV written by geminisim/paperbench -series):
+// for each VM (and the host, vm=-1) it prints the minimum, maximum,
+// and final FMFI per order over the run — fragmentation over time at
+// a glance, without plotting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 
 	"repro/internal/buddy"
 	"repro/internal/frag"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -24,7 +34,16 @@ func main() {
 	consume := flag.Float64("consume", 0.5, "max fraction of memory pinned")
 	seed := flag.Int64("seed", 1, "random seed")
 	recover := flag.Int("recover", 16, "regions to recover after fragmenting")
+	series := flag.String("series", "", "summarize a flight-recorder series CSV instead of fragmenting")
 	flag.Parse()
+
+	if *series != "" {
+		if err := summarizeSeries(*series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pages := uint64(*memMB) << 20 >> mem.PageShift
 	a := buddy.New(pages)
@@ -46,4 +65,70 @@ func main() {
 
 	f.ReleaseAll()
 	fmt.Printf("released:   %s\n", frag.Probe(a))
+}
+
+// summarizeSeries reads a flight-recorder sample series and prints the
+// FMFI-over-time envelope (min, max, final) per order for each VM.
+func summarizeSeries(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := trace.ReadSeriesCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%s: no samples", path)
+	}
+
+	type envelope struct {
+		min, max, final [trace.NumOrders]float64
+		first, last     uint64
+		n               int
+	}
+	byVM := map[int]*envelope{}
+	var vms []int
+	for i := range samples {
+		s := &samples[i]
+		e := byVM[s.VM]
+		if e == nil {
+			e = &envelope{first: s.Tick}
+			for o := range e.min {
+				e.min[o] = s.FMFI[o]
+				e.max[o] = s.FMFI[o]
+			}
+			byVM[s.VM] = e
+			vms = append(vms, s.VM)
+		}
+		for o, v := range s.FMFI {
+			if v < e.min[o] {
+				e.min[o] = v
+			}
+			if v > e.max[o] {
+				e.max[o] = v
+			}
+			e.final[o] = v
+		}
+		e.last = s.Tick
+		e.n++
+	}
+	sort.Ints(vms)
+
+	fmt.Printf("%s: %d samples, ticks %d..%d\n", path, len(samples),
+		samples[0].Tick, samples[len(samples)-1].Tick)
+	for _, vm := range vms {
+		e := byVM[vm]
+		who := fmt.Sprintf("vm %d", vm)
+		if vm < 0 {
+			who = "host"
+		}
+		fmt.Printf("\n%s (%d samples, ticks %d..%d): FMFI by order\n", who, e.n, e.first, e.last)
+		fmt.Printf("%-6s %8s %8s %8s\n", "order", "min", "max", "final")
+		for o := 0; o < trace.NumOrders; o++ {
+			fmt.Printf("%-6d %8.3f %8.3f %8.3f\n", o, e.min[o], e.max[o], e.final[o])
+		}
+	}
+	return nil
 }

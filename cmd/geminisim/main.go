@@ -5,11 +5,20 @@
 //
 //	geminisim [-system GEMINI] [-workload masstree] [-fragmented]
 //	          [-reused] [-requests 4000] [-seed 1] [-all-systems]
-//	          [-vms N]
+//	          [-vms N] [-trace FILE] [-series FILE] [-sample-every N]
 //
 // With -vms N > 1, N copies of the workload run as separate VMs
 // consolidated on one host through the unified engine, and one row is
 // printed per VM.
+//
+// With -trace FILE the structured event trace (promotions, demotions,
+// splits, bookings, compaction passes, migrations, phase boundaries) is
+// written as JSONL; with -series FILE the per-tick sample series (FMFI
+// per order, huge coverage, TLB misses, booking and bucket state) is
+// written as CSV, one row per VM plus one host row (vm=-1) per sampled
+// tick. -sample-every sets the sampling stride in ticks. When several
+// systems or VMs run, all of them share one recorder and the files
+// cover every run in order.
 package main
 
 import (
@@ -29,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	allSystems := flag.Bool("all-systems", false, "run every system and compare")
 	vms := flag.Int("vms", 1, "number of VMs running the workload, consolidated on one host")
+	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE")
+	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE")
+	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
 	flag.Parse()
 	if *vms < 1 {
 		fmt.Fprintf(os.Stderr, "-vms must be at least 1, got %d\n", *vms)
@@ -52,12 +64,20 @@ func main() {
 		systems = append(systems, s)
 	}
 
+	var rec *repro.TraceRecorder
+	if *traceOut != "" || *seriesOut != "" {
+		rec = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
+	}
+
 	fmt.Printf("workload=%s footprint=%dMB fragmented=%v reused=%v requests=%d seed=%d vms=%d\n\n",
 		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed, *vms)
 	fmt.Printf("%-22s %10s %10s %10s %9s %8s %7s %7s\n",
 		"system", "thpt/Mcyc", "mean(cyc)", "p99(cyc)", "tlbm/kacc", "aligned", "guestH", "hostH")
 	for _, sys := range systems {
-		for i, r := range runOne(sys, spec, *vms, *fragmented, *reused, *requests, *seed) {
+		if rec != nil && len(systems) > 1 {
+			rec.Mark(sys.String())
+		}
+		for i, r := range runOne(sys, spec, *vms, *fragmented, *reused, *requests, *seed, rec) {
 			label := r.System
 			if *vms > 1 {
 				label = fmt.Sprintf("%s vm%d", r.System, i)
@@ -67,11 +87,15 @@ func main() {
 				r.TLBMissesPerKAccess, r.AlignedRate, r.GuestHuge, r.HostHuge)
 		}
 	}
+
+	if rec != nil {
+		writeTrace(rec, *traceOut, *seriesOut)
+	}
 }
 
 // runOne runs the configured experiment: a single VM through Run, or
 // n consolidated copies of the workload through the unified engine.
-func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused bool, requests int, seed int64) []repro.Result {
+func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused bool, requests int, seed int64, rec *repro.TraceRecorder) []repro.Result {
 	if n == 1 {
 		return []repro.Result{repro.Run(repro.Config{
 			System:     sys,
@@ -80,6 +104,7 @@ func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused
 			ReusedVM:   reused,
 			Requests:   requests,
 			Seed:       seed,
+			Trace:      rec,
 		})}
 	}
 	vms := make([]repro.VMConfig, n)
@@ -91,5 +116,39 @@ func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused
 		Fragmented: fragmented,
 		Requests:   requests,
 		Seed:       seed,
+		Trace:      rec,
 	}).Run()
+}
+
+// writeTrace flushes the recorder's event log and sample series to the
+// requested files, noting any ring overflow on stderr.
+func writeTrace(rec *repro.TraceRecorder, tracePath, seriesPath string) {
+	write := func(path string, fn func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := fn(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		write(tracePath, func(f *os.File) error { return repro.WriteTraceEvents(f, rec.Events()) })
+		fmt.Printf("\nwrote %d events to %s\n", len(rec.Events()), tracePath)
+	}
+	if seriesPath != "" {
+		write(seriesPath, func(f *os.File) error { return repro.WriteTraceSeries(f, rec.Samples()) })
+		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
+			len(rec.Samples()), seriesPath, rec.Stride())
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", d)
+	}
 }

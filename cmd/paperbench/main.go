@@ -8,6 +8,16 @@
 //
 //	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated|manyvms]
 //	           [-quick] [-seed 1] [-parallel N] [-audit] [-vms N]
+//	           [-json FILE] [-validate-json FILE]
+//	           [-trace FILE] [-series FILE] [-sample-every N]
+//
+// With -json FILE every figure's grid is additionally written as a
+// machine-readable paperbench/v1 JSON report (validated before
+// writing); -validate-json FILE checks an existing report against the
+// schema contract and exits. With -trace/-series the flight recorder is
+// attached to every run (forcing sequential execution) and the
+// structured event log (JSONL) and per-tick sample series (CSV) are
+// written after the grids finish; -sample-every sets the tick stride.
 //
 // The manyvms experiment consolidates -vms heterogeneous VMs on one
 // fragmented host through the unified engine and compares per-VM
@@ -32,48 +42,157 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	auditRuns := flag.Bool("audit", false, "run the cross-layer invariant audit during every run (slower; fails loudly on corruption)")
 	vms := flag.Int("vms", 4, "VM count for the manyvms experiment")
+	jsonOut := flag.String("json", "", "write the figure grids as a paperbench/v1 JSON report to FILE")
+	validateJSON := flag.String("validate-json", "", "validate an existing paperbench/v1 JSON report and exit")
+	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE (forces sequential runs)")
+	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE (forces sequential runs)")
+	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
 	flag.Parse()
 
+	if *validateJSON != "" {
+		validateReport(*validateJSON)
+		return
+	}
+
 	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel, Audit: *auditRuns}
-	run := func(name string, fn func()) {
+	if *traceOut != "" || *seriesOut != "" {
+		o.Trace = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
+	}
+
+	report := repro.NewBenchReport(o)
+	ran := false
+	run := func(name string, fn func() []repro.BenchCell) {
 		// manyvms is opt-in: it is a scaling study, not a paper figure.
 		if *exp != name && (*exp != "all" || name == "manyvms") {
 			return
 		}
+		if o.Trace != nil {
+			// Separate each experiment's runs in the shared event log.
+			o.Trace.Mark(name)
+		}
 		t0 := time.Now()
-		fn()
+		report.Add(name, fn())
+		ran = true
 		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
 	}
 
-	run("fig2", func() { figure2(o) })
-	run("motivation", func() { motivation(o) })
-	run("cleanslate", func() { cleanSlate(o) })
-	run("reused", func() { reused(o) })
-	run("breakdown", func() { breakdown(o) })
-	run("colocated", func() { colocated(o) })
-	run("manyvms", func() { manyVMs(o, *vms) })
-	if *exp != "all" {
-		switch *exp {
-		case "fig2", "motivation", "cleanslate", "reused", "breakdown", "colocated", "manyvms":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-			os.Exit(1)
-		}
+	run("fig2", func() []repro.BenchCell { return figure2(o) })
+	run("motivation", func() []repro.BenchCell { return motivation(o) })
+	run("cleanslate", func() []repro.BenchCell { return cleanSlate(o) })
+	run("reused", func() []repro.BenchCell { return reused(o) })
+	run("breakdown", func() []repro.BenchCell { return breakdown(o) })
+	run("colocated", func() []repro.BenchCell { return colocated(o) })
+	run("manyvms", func() []repro.BenchCell { return manyVMs(o, *vms) })
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		writeReport(report, *jsonOut)
+	}
+	if o.Trace != nil {
+		writeTrace(o.Trace, *traceOut, *seriesOut)
 	}
 }
 
-func figure2(o repro.Options) {
+// validateReport checks an existing JSON report and exits non-zero on
+// any contract violation.
+func validateReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := repro.ReadBenchReport(f)
+	if err == nil {
+		err = r.Validate()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid %s report, %d figures\n", path, r.Schema, len(r.Figures))
+}
+
+// writeReport validates and writes the JSON report; an invalid report
+// (half-empty grid, NaN metric) fails the invocation rather than
+// shipping a broken artifact.
+func writeReport(r *repro.BenchReport, path string) {
+	if err := r.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := r.WriteJSON(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote JSON report to %s (%d figures)\n", path, len(r.Figures))
+}
+
+// writeTrace flushes the recorder's event log and sample series to the
+// requested files.
+func writeTrace(rec *repro.TraceRecorder, tracePath, seriesPath string) {
+	if tracePath != "" {
+		writeFile(tracePath, func(f *os.File) error {
+			return repro.WriteTraceEvents(f, rec.Events())
+		})
+		fmt.Printf("wrote %d events to %s\n", len(rec.Events()), tracePath)
+	}
+	if seriesPath != "" {
+		writeFile(seriesPath, func(f *os.File) error {
+			return repro.WriteTraceSeries(f, rec.Samples())
+		})
+		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
+			len(rec.Samples()), seriesPath, rec.Stride())
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", d)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func figure2(o repro.Options) []repro.BenchCell {
 	fmt.Println("=== Figure 2: micro-benchmark, random access across data-set sizes ===")
 	fmt.Println("(throughput in accesses per million cycles; higher is better)")
 	rows := repro.Figure2(o)
 	byDS := map[int]map[string]repro.MicroResult{}
 	var sizes []int
+	cells := make([]repro.BenchCell, 0, len(rows))
 	for _, r := range rows {
 		if byDS[r.DatasetMB] == nil {
 			byDS[r.DatasetMB] = map[string]repro.MicroResult{}
 			sizes = append(sizes, r.DatasetMB)
 		}
 		byDS[r.DatasetMB][r.Label] = r
+		cells = append(cells, repro.MicroCell(r))
 	}
 	labels := []string{"Host-B-VM-B", "Host-B-VM-H", "Host-H-VM-B", "Host-H-VM-H"}
 	fmt.Printf("%-10s", "dataset")
@@ -88,9 +207,20 @@ func figure2(o repro.Options) {
 		}
 		fmt.Println()
 	}
+	return cells
 }
 
-func motivation(o repro.Options) {
+// resultCells flattens a slice of Results into report cells with a
+// shared setting label.
+func resultCells(setting string, rows []repro.Result) []repro.BenchCell {
+	cells := make([]repro.BenchCell, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, repro.ResultCell(setting, 0, r))
+	}
+	return cells
+}
+
+func motivation(o repro.Options) []repro.BenchCell {
 	rows := repro.Motivation(o)
 	fmt.Println("=== Figure 3: motivation workloads, throughput normalized to Host-B-VM-B (fragmented) ===")
 	printNormalized(rows)
@@ -98,21 +228,24 @@ func motivation(o repro.Options) {
 	fmt.Print(repro.FormatTable("", rows,
 		func(r repro.Result) float64 { return r.AlignedRate * 100 }, "%.0f%%"))
 	fmt.Println()
+	return resultCells("fragmented", rows)
 }
 
-func cleanSlate(o repro.Options) {
+func cleanSlate(o repro.Options) []repro.BenchCell {
 	all := repro.CleanSlate(o)
+	var cells []repro.BenchCell
 	for _, frag := range []bool{true, false} {
 		var rows []repro.Result
+		state := "fragmented"
+		if !frag {
+			state = "unfragmented"
+		}
 		for _, r := range all {
 			if r.Fragmented == frag {
 				rows = append(rows, r.Result)
 			}
 		}
-		state := "fragmented"
-		if !frag {
-			state = "unfragmented"
-		}
+		cells = append(cells, resultCells(state, rows)...)
 		fmt.Printf("=== Figure 8 (%s): clean-slate throughput normalized to Host-B-VM-B ===\n", state)
 		printNormalized(rows)
 		if frag {
@@ -129,9 +262,10 @@ func cleanSlate(o repro.Options) {
 		}
 		fmt.Println()
 	}
+	return cells
 }
 
-func reused(o repro.Options) {
+func reused(o repro.Options) []repro.BenchCell {
 	rows := repro.ReusedVM(o)
 	fmt.Println("=== Figure 12: reused-VM throughput normalized to Host-B-VM-B ===")
 	printNormalized(rows)
@@ -146,17 +280,19 @@ func reused(o repro.Options) {
 	fmt.Print(repro.FormatTable("", rows,
 		func(r repro.Result) float64 { return r.AlignedRate * 100 }, "%.0f%%"))
 	fmt.Println()
+	return resultCells("reused", rows)
 }
 
-func breakdown(o repro.Options) {
+func breakdown(o repro.Options) []repro.BenchCell {
 	rows := repro.Breakdown(o)
 	fmt.Println("=== Figure 16: GEMINI breakdown (throughput, reused VM, fragmented) ===")
 	fmt.Print(repro.FormatTable("absolute throughput per Mcycle", rows,
 		func(r repro.Result) float64 { return r.Throughput }, "%.1f"))
 	fmt.Println()
+	return resultCells("reused+fragmented", rows)
 }
 
-func colocated(o repro.Options) {
+func colocated(o repro.Options) []repro.BenchCell {
 	byPair := repro.Colocated(o)
 	fmt.Println("=== Figures 17/18: collocated VMs (per-VM throughput per Mcycle) ===")
 	pairs := make([]string, 0, len(byPair))
@@ -164,6 +300,7 @@ func colocated(o repro.Options) {
 		pairs = append(pairs, pair)
 	}
 	sort.Strings(pairs)
+	var cells []repro.BenchCell
 	for _, pair := range pairs {
 		rows := byPair[pair]
 		fmt.Printf("--- pair %s ---\n", pair)
@@ -171,13 +308,18 @@ func colocated(o repro.Options) {
 		for _, cr := range rows {
 			fmt.Printf("%-22s %12.2f %12.2f %12.0f %12.0f\n",
 				cr.A.System, cr.A.Throughput, cr.B.Throughput, cr.A.MeanLatency, cr.B.MeanLatency)
+			cells = append(cells,
+				repro.ResultCell(pair, 0, cr.A),
+				repro.ResultCell(pair, 1, cr.B))
 		}
 	}
 	fmt.Println()
+	return cells
 }
 
-func manyVMs(o repro.Options, n int) {
+func manyVMs(o repro.Options, n int) []repro.BenchCell {
 	fmt.Printf("=== Scaling study: %d consolidated VMs (per-VM throughput per Mcycle) ===\n", n)
+	var cells []repro.BenchCell
 	for _, row := range repro.ManyVMs(o, n) {
 		fmt.Printf("--- %s ---\n", row.System)
 		fmt.Printf("%-4s %-14s %12s %12s %9s %8s\n",
@@ -186,9 +328,11 @@ func manyVMs(o repro.Options, n int) {
 			fmt.Printf("%-4d %-14s %12.2f %12.0f %9.1f %8.2f\n",
 				i, r.Workload, r.Throughput, r.MeanLatency,
 				r.TLBMissesPerKAccess, r.AlignedRate)
+			cells = append(cells, repro.ResultCell(fmt.Sprintf("%dvms", n), i, r))
 		}
 	}
 	fmt.Println()
+	return cells
 }
 
 // printNormalized prints throughput normalized to Host-B-VM-B plus a

@@ -142,6 +142,34 @@ func TestRunManyDeterminism(t *testing.T) {
 	}
 }
 
+// legacyResult projects a Result onto the scalar fields the golden
+// snapshots were generated from. The flight-recorder fields (Timeline,
+// Events) are nil on untraced runs and deliberately excluded, keeping
+// the golden files bit-for-bit stable as the recorder schema evolves.
+func legacyResult(r sim.Result) interface{} {
+	return struct {
+		System              string
+		Workload            string
+		Throughput          float64
+		MeanLatency         float64
+		P99Latency          float64
+		TLBMissesPerKAccess float64
+		WalkCyclesPerAccess float64
+		AlignedRate         float64
+		GuestHuge           uint64
+		HostHuge            uint64
+		GuestFMFI           float64
+		MigratedPages       uint64
+		BackgroundCycles    uint64
+		BucketReuseRate     float64
+	}{
+		r.System, r.Workload, r.Throughput, r.MeanLatency, r.P99Latency,
+		r.TLBMissesPerKAccess, r.WalkCyclesPerAccess, r.AlignedRate,
+		r.GuestHuge, r.HostHuge, r.GuestFMFI, r.MigratedPages,
+		r.BackgroundCycles, r.BucketReuseRate,
+	}
+}
+
 // TestGoldenColocatedSnapshot pins the exact numbers for the colocated
 // determinism cells, the same way TestGoldenQuickSnapshot pins the
 // single-VM path; regenerate with -update after an intended change.
@@ -149,7 +177,7 @@ func TestGoldenColocatedSnapshot(t *testing.T) {
 	var b strings.Builder
 	for _, cc := range colocatedDeterminismCases() {
 		ra, rb := sim.RunColocated(cc)
-		fmt.Fprintf(&b, "A %+v\nB %+v\n", ra, rb)
+		fmt.Fprintf(&b, "A %+v\nB %+v\n", legacyResult(ra), legacyResult(rb))
 	}
 	got := b.String()
 
@@ -184,7 +212,7 @@ func TestGoldenQuickSnapshot(t *testing.T) {
 	var b strings.Builder
 	for _, cfg := range determinismCases() {
 		r := sim.Run(cfg)
-		fmt.Fprintf(&b, "%+v\n", r)
+		fmt.Fprintf(&b, "%+v\n", legacyResult(r))
 	}
 	got := b.String()
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type Options struct {
 	// (sim.Config.Audit): periodic full audits plus one at completion,
 	// panicking with a report on the first violation.
 	Audit bool
+	// Trace, when non-nil, attaches the flight recorder to every run
+	// of the experiment. The recorder is not safe for concurrent use,
+	// so tracing forces sequential execution (Parallel is ignored);
+	// runs append to the shared recorder in deterministic grid order.
+	Trace *trace.Recorder
 }
 
 // Validate reports whether the options are usable. Experiment
@@ -73,6 +79,10 @@ func (o Options) requests() int {
 }
 
 func (o Options) parallel() int {
+	if o.Trace != nil {
+		// One shared recorder: traced runs must not interleave.
+		return 1
+	}
 	if o.Parallel > 0 {
 		return o.Parallel
 	}
@@ -222,6 +232,7 @@ func cellConfig(o Options, spec workload.Spec, sys System, st Setting) Config {
 		System: sys, Workload: spec,
 		Fragmented: st.Fragmented, ReusedVM: st.ReusedVM,
 		Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
+		Trace: o.Trace,
 	}
 }
 
@@ -359,6 +370,7 @@ func Colocated(o Options) map[string][]ColocatedRow {
 				System: j.System, WorkloadA: a, WorkloadB: b,
 				Fragmented: j.Setting.Fragmented,
 				Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
+				Trace:      o.Trace,
 			})
 			return ColocatedRow{A: ra, B: rb}
 		})
@@ -418,6 +430,7 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 				Requests:   o.requests(),
 				Seed:       o.seed(),
 				Audit:      o.Audit,
+				Trace:      o.Trace,
 			}).Run()
 			return ManyVMRow{System: j.System.String(), Results: rs}
 		})

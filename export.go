@@ -1,0 +1,154 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// BenchSchema identifies the machine-readable paperbench report format.
+// Bump the suffix on any breaking change to the JSON layout.
+const BenchSchema = "paperbench/v1"
+
+// BenchReport is the machine-readable form of a paperbench invocation:
+// every figure that ran, as a grid of cells, each cell a flat metric
+// map. Serialized with encoding/json the output is deterministic for a
+// deterministic run (struct fields in declaration order, map keys
+// sorted), so reports diff cleanly across commits.
+type BenchReport struct {
+	Schema  string        `json:"schema"`
+	Seed    int64         `json:"seed"`
+	Quick   bool          `json:"quick"`
+	Figures []BenchFigure `json:"figures"`
+}
+
+// BenchFigure is one experiment's grid (e.g. "cleanslate").
+type BenchFigure struct {
+	Name  string      `json:"name"`
+	Cells []BenchCell `json:"cells"`
+}
+
+// BenchCell is one (system × workload × setting) point of a figure.
+// VM is the VM index for multi-VM grids and 0 for single-VM runs.
+type BenchCell struct {
+	System   string             `json:"system"`
+	Workload string             `json:"workload"`
+	Setting  string             `json:"setting,omitempty"`
+	VM       int                `json:"vm"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// NewBenchReport starts a report stamped with the schema version and
+// the options the grids ran under.
+func NewBenchReport(o Options) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Seed: o.Seed, Quick: o.Quick}
+}
+
+// Add appends one figure's cells. Figures with no cells are recorded
+// too — Validate rejects them, which catches experiments that silently
+// produced nothing.
+func (r *BenchReport) Add(name string, cells []BenchCell) {
+	r.Figures = append(r.Figures, BenchFigure{Name: name, Cells: cells})
+}
+
+// ResultCell flattens a simulation Result into a metric cell.
+func ResultCell(setting string, vm int, res Result) BenchCell {
+	return BenchCell{
+		System:   res.System,
+		Workload: res.Workload,
+		Setting:  setting,
+		VM:       vm,
+		Metrics: map[string]float64{
+			"throughput":             res.Throughput,
+			"mean_latency":           res.MeanLatency,
+			"p99_latency":            res.P99Latency,
+			"tlb_misses_per_kacc":    res.TLBMissesPerKAccess,
+			"walk_cycles_per_access": res.WalkCyclesPerAccess,
+			"aligned_rate":           res.AlignedRate,
+			"guest_huge":             float64(res.GuestHuge),
+			"host_huge":              float64(res.HostHuge),
+			"guest_fmfi":             res.GuestFMFI,
+			"migrated_pages":         float64(res.MigratedPages),
+			"background_cycles":      float64(res.BackgroundCycles),
+			"bucket_reuse_rate":      res.BucketReuseRate,
+		},
+	}
+}
+
+// MicroCell flattens a Figure 2 micro-benchmark point into a cell. The
+// page-size configuration label (e.g. "Host-H-VM-B") is the system and
+// the dataset size is the setting.
+func MicroCell(res MicroResult) BenchCell {
+	return BenchCell{
+		System:   res.Label,
+		Workload: "micro",
+		Setting:  fmt.Sprintf("%dMB", res.DatasetMB),
+		Metrics: map[string]float64{
+			"throughput":        res.Throughput,
+			"cycles_per_access": res.CyclesPerAccess,
+			"tlb_miss_rate":     res.TLBMissRate,
+		},
+	}
+}
+
+// Validate checks the report's structural contract: the expected
+// schema, at least one figure, every figure named and non-empty, every
+// cell carrying a system label and only finite metric values. CI runs
+// this against the -json artifact so a half-empty grid fails the build
+// instead of shipping.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("benchreport: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("benchreport: no figures")
+	}
+	seen := make(map[string]bool, len(r.Figures))
+	for _, fig := range r.Figures {
+		if fig.Name == "" {
+			return fmt.Errorf("benchreport: unnamed figure")
+		}
+		if seen[fig.Name] {
+			return fmt.Errorf("benchreport: duplicate figure %q", fig.Name)
+		}
+		seen[fig.Name] = true
+		if len(fig.Cells) == 0 {
+			return fmt.Errorf("benchreport: figure %q has no cells", fig.Name)
+		}
+		for i, c := range fig.Cells {
+			if c.System == "" {
+				return fmt.Errorf("benchreport: %s cell %d has no system", fig.Name, i)
+			}
+			if len(c.Metrics) == 0 {
+				return fmt.Errorf("benchreport: %s cell %d (%s/%s) has no metrics",
+					fig.Name, i, c.System, c.Workload)
+			}
+			for name, v := range c.Metrics {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("benchreport: %s cell %d (%s/%s) metric %q = %v",
+						fig.Name, i, c.System, c.Workload, name, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport decodes a report written by WriteJSON. It does not
+// validate; call Validate on the result to check the contract.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchreport: %w", err)
+	}
+	return &r, nil
+}

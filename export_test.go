@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	r := NewBenchReport(Options{Seed: 7, Quick: true})
+	r.Add("cleanslate", []BenchCell{
+		ResultCell("fragmented", 0, Result{
+			System: "GEMINI", Workload: "redis",
+			Throughput: 12.5, AlignedRate: 0.93, GuestHuge: 41,
+		}),
+	})
+	r.Add("fig2", []BenchCell{
+		MicroCell(MicroResult{Label: "Host-H-VM-H", DatasetMB: 64, Throughput: 99, TLBMissRate: 0.01}),
+	})
+	return r
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip changed report:\n  in:  %+v\n  out: %+v", r, got)
+	}
+}
+
+func TestBenchReportDeterministicJSON(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleReport().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same report serialized differently")
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+		want   string
+	}{
+		{"wrong schema", func(r *BenchReport) { r.Schema = "paperbench/v0" }, "schema"},
+		{"no figures", func(r *BenchReport) { r.Figures = nil }, "no figures"},
+		{"unnamed figure", func(r *BenchReport) { r.Figures[0].Name = "" }, "unnamed"},
+		{"duplicate figure", func(r *BenchReport) { r.Figures[1].Name = r.Figures[0].Name }, "duplicate"},
+		{"empty figure", func(r *BenchReport) { r.Figures[0].Cells = nil }, "no cells"},
+		{"no system", func(r *BenchReport) { r.Figures[0].Cells[0].System = "" }, "no system"},
+		{"no metrics", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics = nil }, "no metrics"},
+		{"nan metric", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics["throughput"] = math.NaN() }, "throughput"},
+		{"inf metric", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics["throughput"] = math.Inf(1) }, "throughput"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sampleReport()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("invalid report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadBenchReportBadJSON(t *testing.T) {
+	if _, err := ReadBenchReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestResultCellCoversLegacyFields pins the metric-map contract: every
+// scalar Result field reported in the text tables is present in the
+// exported cell, so downstream plotting never silently loses a column.
+func TestResultCellCoversLegacyFields(t *testing.T) {
+	c := ResultCell("", 0, Result{System: "THP", Workload: "canneal"})
+	want := []string{
+		"throughput", "mean_latency", "p99_latency",
+		"tlb_misses_per_kacc", "walk_cycles_per_access", "aligned_rate",
+		"guest_huge", "host_huge", "guest_fmfi",
+		"migrated_pages", "background_cycles", "bucket_reuse_rate",
+	}
+	for _, k := range want {
+		if _, ok := c.Metrics[k]; !ok {
+			t.Errorf("metric %q missing from ResultCell", k)
+		}
+	}
+	if len(c.Metrics) != len(want) {
+		t.Errorf("ResultCell has %d metrics, want %d (update the test when adding metrics)",
+			len(c.Metrics), len(want))
+	}
+}

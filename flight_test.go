@@ -1,0 +1,106 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tracedCfg is the fixed-seed Gemini run pinned by the trace golden:
+// small enough to run in milliseconds, fragmented so the run exercises
+// compaction, bookings, and misaligned-region repair.
+func tracedCfg(rec *TraceRecorder) sim.Config {
+	spec := workload.Redis()
+	spec.FootprintMB /= 4
+	return sim.Config{
+		System:     sim.Gemini,
+		Workload:   spec,
+		Fragmented: true,
+		Requests:   400,
+		Seed:       42,
+		Trace:      rec,
+	}
+}
+
+// TestTracedRunDeterminism extends the seed contract to the flight
+// recorder: two traced runs of the same configuration must produce
+// identical event logs and sample series, bit for bit. Any wall-clock
+// or map-iteration dependence in the recorder shows up here.
+func TestTracedRunDeterminism(t *testing.T) {
+	run := func() Result {
+		return sim.Run(tracedCfg(NewTraceRecorder(TraceConfig{SampleEvery: 16})))
+	}
+	a, b := run(), run()
+	if len(a.Events) == 0 || len(a.Timeline) == 0 {
+		t.Fatalf("traced run recorded nothing: %d events, %d samples",
+			len(a.Events), len(a.Timeline))
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("same seed, different event traces")
+	}
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Error("same seed, different sample series")
+	}
+}
+
+// TestTraceObserverEffect locks the zero-observer contract: attaching
+// the recorder must not change a single reported metric. The traced
+// and untraced runs must agree on every scalar Result field.
+func TestTraceObserverEffect(t *testing.T) {
+	plain := sim.Run(tracedCfg(nil))
+	traced := sim.Run(tracedCfg(NewTraceRecorder(TraceConfig{})))
+	if !reflect.DeepEqual(legacyResult(plain), legacyResult(traced)) {
+		t.Errorf("recorder changed the run:\n  untraced: %+v\n  traced:   %+v",
+			legacyResult(plain), legacyResult(traced))
+	}
+}
+
+// TestGoldenTraceSnapshot pins the exact event log of the traced
+// reference run as JSONL. Any change to emission sites, event ordering,
+// or the serialization schema shows up as a golden diff; regenerate
+// with
+//
+//	go test -run TestGoldenTraceSnapshot -update .
+//
+// after confirming the change is intended.
+func TestGoldenTraceSnapshot(t *testing.T) {
+	r := sim.Run(tracedCfg(NewTraceRecorder(TraceConfig{SampleEvery: 16})))
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, r.Events); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "golden_trace.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("event trace drifted from golden snapshot (%d vs %d bytes).\n"+
+			"If the change is intended, regenerate with -update.", len(got), len(want))
+	}
+
+	// The golden log must survive a decode round trip.
+	events, err := ReadTraceEvents(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden trace does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(events, r.Events) {
+		t.Error("golden trace decodes to different events")
+	}
+}

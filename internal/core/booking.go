@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // booking tracks one huge-page-sized guest physical region held for
@@ -62,6 +63,9 @@ func (p *GuestPolicy) bookSpan(L *machine.Layer, startFrame, pages uint64) {
 		}
 		p.bookings[hi] = &booking{hugeIdx: hi, expires: p.now + p.ctl.Timeout()}
 		p.Stats.BookingsCreated++
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvBookingOpen, 0, hi*mem.PagesPerHuge, mem.HugeOrder, 0, "span")
+		}
 	}
 }
 
@@ -93,6 +97,10 @@ func (p *GuestPolicy) serviceBookings(L *machine.Layer) {
 			}
 		}
 		if p.now >= bk.expires {
+			if L.Trace != nil {
+				L.Trace.Event(trace.EvBookingExpire, bk.vaBase, bk.hugeIdx*mem.PagesPerHuge,
+					mem.HugeOrder, uint64(bk.nClaimed), "timeout")
+			}
 			p.finishBooking(L, bk, false)
 			p.Stats.BookingsExpired++
 		}
@@ -176,6 +184,9 @@ func (p *GuestPolicy) bookMisalignedHost(L *machine.Layer) {
 		}
 		p.bookings[hi] = &booking{hugeIdx: hi, expires: p.now + p.ctl.Timeout()}
 		p.Stats.BookingsCreated++
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvBookingOpen, 0, hi*mem.PagesPerHuge, mem.HugeOrder, 0, "type1")
+		}
 		budget--
 	}
 }

@@ -79,6 +79,10 @@ func (p *GuestPolicy) Bucket() *Bucket { return p.bucket }
 // TimeoutCtl exposes the Algorithm 1 controller for introspection.
 func (p *GuestPolicy) TimeoutCtl() *TimeoutCtl { return p.ctl }
 
+// BookingCount returns how many huge bookings are currently open — a
+// flight-recorder gauge.
+func (p *GuestPolicy) BookingCount() int { return len(p.bookings) }
+
 // BucketReuseRate reports reused/taken for the huge bucket (§6.3
 // reports 88% on average), and whether any block was ever taken. It is
 // the narrow introspection surface result extraction uses, so callers

@@ -9,6 +9,7 @@ package core
 import (
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // khugepagedPass is the "existing system component for page
@@ -151,6 +152,9 @@ func (p *GuestPolicy) consolidate(L *machine.Layer, hi uint64) bool {
 			L.Buddy.Free(f, 0)
 		}
 		return false
+	}
+	if L.Trace != nil {
+		L.Trace.Event(trace.EvMigration, dom, start, mem.HugeOrder, uint64(len(evacuated)), "consolidate")
 	}
 	return true
 }

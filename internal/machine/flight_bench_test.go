@@ -1,0 +1,47 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// benchAccess drives the fault+access hot path over a strided working
+// set, the loop every simulated request executes. The flight recorder's
+// zero-cost contract is that this path has no emission sites at all, so
+// the traced and untraced variants must benchmark identically (<2%).
+//
+// Compare with
+//
+//	go test -run - -bench BenchmarkAccessPath -count 10 ./internal/machine | benchstat
+func benchAccess(b *testing.B, rec *trace.Recorder) {
+	m := NewMachine(testHostPages, DefaultCosts())
+	vm := m.AddVM(testGuestPages, hugePolicy{}, hugePolicy{}, tlb.DefaultConfig())
+	if rec != nil {
+		m.Rec = rec
+		vm.Guest.Trace = rec.Handle(0, "guest")
+		vm.EPT.Trace = rec.Handle(0, "ept")
+	}
+	const span = 32 * mem.HugeSize
+	v := vm.Guest.Space.MMap(span, 0)
+	// Pre-fault so the steady state (TLB hits and misses, no faults)
+	// dominates, as it does during the measure phase.
+	for va := v.Start; va < v.End(); va += mem.PageSize {
+		vm.Touch(va)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := v.Start + uint64(i)*1237*mem.PageSize%span
+		vm.Access(va)
+	}
+}
+
+func BenchmarkAccessPathUntraced(b *testing.B) {
+	benchAccess(b, nil)
+}
+
+func BenchmarkAccessPathTraced(b *testing.B) {
+	benchAccess(b, trace.NewRecorder(trace.Config{}))
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/buddy"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
+	"repro/internal/trace"
 )
 
 // Decision is a policy's answer to a demand fault.
@@ -107,6 +108,11 @@ type Layer struct {
 	// ZeroFraction is the workload's fraction of zero pages, consumed
 	// by HawkEye's dedup model. Guest layer only.
 	ZeroFraction float64
+	// Trace, when non-nil, receives structured flight-recorder events
+	// for this layer. It stays nil unless a run opts into tracing;
+	// every emission site is guarded by a nil check so the disabled
+	// path constructs no event values (zero-cost-when-disabled).
+	Trace *trace.Handle
 
 	// Stats accumulates event counts.
 	Stats LayerStats
@@ -265,8 +271,16 @@ func (L *Layer) EnsureMapped(va uint64) (uint64, bool) {
 // base pages are present, contiguous, and aligned. Costs are charged
 // as background work plus a shootdown stall.
 func (L *Layer) PromoteInPlace(va uint64) error {
+	hugeBase := va &^ uint64(mem.HugeSize-1)
 	if err := L.Table.Collapse(va); err != nil {
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvCollapseFail, hugeBase, 0, mem.HugeOrder, 0, "in-place")
+		}
 		return err
+	}
+	if L.Trace != nil {
+		frame, _, _ := L.Table.Lookup(hugeBase)
+		L.Trace.Event(trace.EvPromote, hugeBase, frame, mem.HugeOrder, mem.PagesPerHuge, "in-place")
 	}
 	L.Stats.InPlacePromotions++
 	L.Stats.HugeMappedPages += mem.PagesPerHuge
@@ -290,6 +304,9 @@ func (L *Layer) PromoteMigrate(va uint64, targetFrame *uint64) error {
 	hugeBase := va &^ uint64(mem.HugeSize-1)
 	if v := L.Space.Find(hugeBase); v == nil || !regionInVMABounds(hugeBase, v) {
 		L.Stats.FailedPromotions++
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvCollapseFail, hugeBase, 0, mem.HugeOrder, 0, "outside-vma")
+		}
 		return fmt.Errorf("machine: region %#x not fully inside a VMA", hugeBase)
 	}
 	_, isHuge, present := L.Table.LookupHugeRegion(hugeBase)
@@ -303,6 +320,9 @@ func (L *Layer) PromoteMigrate(va uint64, targetFrame *uint64) error {
 		b, err := L.Buddy.Alloc(mem.HugeOrder)
 		if err != nil {
 			L.Stats.FailedPromotions++
+			if L.Trace != nil {
+				L.Trace.Event(trace.EvCollapseFail, hugeBase, 0, mem.HugeOrder, 0, "no-block")
+			}
 			return fmt.Errorf("machine: no huge block for migration promotion: %w", err)
 		}
 		block = b
@@ -324,6 +344,9 @@ func (L *Layer) PromoteMigrate(va uint64, targetFrame *uint64) error {
 	}
 	for _, o := range olds {
 		L.Buddy.Free(o.frame, 0)
+	}
+	if L.Trace != nil {
+		L.Trace.Event(trace.EvPromote, hugeBase, block, mem.HugeOrder, uint64(len(olds)), "migrate")
 	}
 	L.Stats.MigrationPromotions++
 	L.Stats.MigratedPages += uint64(len(olds))
@@ -358,6 +381,9 @@ func (L *Layer) MapHugeEager(va uint64) error {
 		L.Buddy.Free(block, mem.HugeOrder)
 		return err
 	}
+	if L.Trace != nil {
+		L.Trace.Event(trace.EvPromote, hugeBase, block, mem.HugeOrder, 0, "eager")
+	}
 	L.Stats.HugeMappedPages += mem.PagesPerHuge
 	L.Stats.BackgroundCycles += L.Costs.FaultHugeZero
 	return nil
@@ -367,6 +393,10 @@ func (L *Layer) MapHugeEager(va uint64) error {
 func (L *Layer) Demote(va uint64) error {
 	if err := L.Table.Split(va); err != nil {
 		return err
+	}
+	if L.Trace != nil {
+		hugeBase := va &^ uint64(mem.HugeSize-1)
+		L.Trace.Event(trace.EvSplit, hugeBase, 0, mem.HugeOrder, mem.PagesPerHuge, "split")
 	}
 	L.Stats.Splits++
 	L.Stats.HugeMappedPages -= mem.PagesPerHuge
@@ -469,6 +499,9 @@ func (L *Layer) ReclaimUnderPressure(lowWatermarkPages uint64, budget int, keep 
 		if err := L.Demote(c.va); err != nil {
 			continue
 		}
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvDemote, c.va&^uint64(mem.HugeSize-1), 0, mem.HugeOrder, 0, "pressure")
+		}
 		// Free the pages that were never accessed (pure bloat). A
 		// freshly split PTE carries no accessed bit, so harvest from
 		// heat-era state: pages the split created are all unaccessed;
@@ -568,6 +601,9 @@ func (L *Layer) CompactRegion(hugeIdx uint64) bool {
 	// All 512 frames are ours: release them as one block.
 	for _, f := range claimed {
 		L.Buddy.Free(f, 0)
+	}
+	if L.Trace != nil {
+		L.Trace.Event(trace.EvCompactionPass, 0, start, mem.HugeOrder, uint64(moves), "compact")
 	}
 	L.Stats.CompactedRegions++
 	return true

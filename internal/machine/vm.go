@@ -5,6 +5,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 )
 
 // VM is one virtual machine: a guest with its own physical memory and
@@ -40,6 +41,10 @@ type Machine struct {
 	Costs CostModel
 	// Ticks counts daemon quanta elapsed.
 	Ticks uint64
+	// Rec, when non-nil, is the flight recorder tracing this machine.
+	// Tick advances its simulated clock so every event and sample is
+	// stamped with the tick it happened on.
+	Rec *trace.Recorder
 }
 
 // NewMachine creates a host with the given amount of physical memory.
@@ -147,6 +152,9 @@ const CompactionLowWatermark = 8
 // heat decays.
 func (m *Machine) Tick() {
 	m.Ticks++
+	if m.Rec != nil {
+		m.Rec.SetNow(m.Ticks)
+	}
 	for _, vm := range m.VMs {
 		vm.Guest.RunCompaction(CompactionLowWatermark, 64)
 		vm.EPT.RunCompaction(CompactionLowWatermark, 64)

@@ -39,10 +39,18 @@ type Window struct {
 
 // Observe records the latest absolute value and returns the delta since
 // the previous observation. The first observation primes the window and
-// returns 0.
+// returns 0. A value below the previous one means the observed counter
+// was reset (e.g. TLB statistics cleared between phases); the window
+// re-primes on the new baseline and returns 0 instead of letting the
+// unsigned subtraction underflow into a huge delta.
 func (w *Window) Observe(abs uint64) uint64 {
 	if !w.primed {
 		w.primed = true
+		w.last = abs
+		w.current = abs
+		return 0
+	}
+	if abs < w.current {
 		w.last = abs
 		w.current = abs
 		return 0

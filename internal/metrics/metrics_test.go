@@ -49,10 +49,70 @@ func TestWindowUnprimed(t *testing.T) {
 	}
 }
 
+// TestWindowCounterReset is the regression test for the unsigned
+// underflow: when the observed counter goes backwards (TLB statistics
+// reset between engine phases), Observe must re-prime and return 0,
+// not (abs - current) wrapped around to ~2^64.
+func TestWindowCounterReset(t *testing.T) {
+	var w Window
+	w.Observe(1000)
+	if d := w.Observe(2000); d != 1000 {
+		t.Fatalf("pre-reset delta = %d, want 1000", d)
+	}
+	if d := w.Observe(5); d != 0 {
+		t.Errorf("reset delta = %d, want 0 (underflow!)", d)
+	}
+	if d := w.LastDelta(); d != 0 {
+		t.Errorf("LastDelta after reset = %d, want 0", d)
+	}
+	// Deltas resume from the new baseline.
+	if d := w.Observe(25); d != 20 {
+		t.Errorf("post-reset delta = %d, want 20", d)
+	}
+	// Reset all the way to zero is the common case (Stats{} assignment).
+	if d := w.Observe(0); d != 0 {
+		t.Errorf("reset-to-zero delta = %d, want 0", d)
+	}
+	if d := w.Observe(7); d != 7 {
+		t.Errorf("delta after zero reset = %d, want 7", d)
+	}
+}
+
+// TestHistogramEmpty locks the reporting contract: an empty histogram
+// returns 0 from every summary accessor — never the ±Inf/NaN tracking
+// sentinels — so unpopulated cells print as 0 in reports.
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram()
 	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
 		t.Errorf("empty histogram non-zero: %s", h)
+	}
+	for _, v := range []float64{h.Mean(), h.Min(), h.Max(), h.P99(), h.Quantile(0.5)} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("empty histogram leaked a sentinel: %v", v)
+		}
+	}
+}
+
+// TestHistogramSingleSample: with one recorded value every summary
+// statistic is that value.
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Min() != 42 || h.Max() != 42 {
+		t.Errorf("Min/Max = %v/%v, want 42/42", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-42) > 1e-9 {
+		t.Errorf("Mean = %v, want 42", m)
+	}
+	// Quantiles are bucket-resolution approximations; they must stay
+	// within the ~5% relative error of the bucket layout.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); math.Abs(v-42)/42 > 0.05 {
+			t.Errorf("Quantile(%v) = %v, want ~42", q, v)
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -103,6 +104,12 @@ type EngineConfig struct {
 	AuditEvery int
 	// Seed drives all randomness through the seeding contract above.
 	Seed int64
+	// Trace, when non-nil, attaches the flight recorder: every layer
+	// emits structured events into it, the engine stamps phase
+	// boundaries, and gauge samples are captured on the recorder's
+	// tick stride. Nil (the default) records nothing and adds nothing
+	// to the run's hot paths.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills zero fields.
@@ -251,6 +258,14 @@ func NewEngine(cfg EngineConfig) *Engine {
 		e.vms = append(e.vms, &engineVM{cfg: vc, vm: vm, gp: gp, gem: gem})
 	}
 	e.rec = &recovery{every: cfg.RecoverEveryTicks}
+	if cfg.Trace != nil {
+		e.m.Rec = cfg.Trace
+		for i, ev := range e.vms {
+			ev.vm.Guest.Trace = cfg.Trace.Handle(i, "guest")
+			ev.vm.EPT.Trace = cfg.Trace.Handle(i, "ept")
+		}
+		e.rec.sampler = e.sample
+	}
 	if cfg.Audit {
 		e.rec.auditEvery = cfg.AuditEvery
 		e.rec.auditors = []audit.Auditable{e.m}
@@ -269,13 +284,24 @@ func (e *Engine) Machine() *machine.Machine { return e.m }
 // Run executes the engine's phases in order and returns one Result per
 // VM, in VM order.
 func (e *Engine) Run() []Result {
-	e.fragmentPhase()
-	e.predecessorPhase()
-	e.warmupPhase()
-	e.settle(settleTicks)
-	e.measurePhase()
+	e.phased("fragment", e.fragmentPhase)
+	e.phased("predecessor", e.predecessorPhase)
+	e.phased("warmup", e.warmupPhase)
+	e.phased("settle", func() { e.settle(settleTicks) })
+	e.phased("measure", e.measurePhase)
+	e.finalSample()
 	e.rec.audit() // completion audit: the final state must be consistent
 	return e.results()
+}
+
+// phased runs one engine phase, bracketing it with PhaseStart/PhaseEnd
+// events when the run is traced.
+func (e *Engine) phased(name string, fn func()) {
+	if r := e.cfg.Trace; r != nil {
+		r.BeginPhase(name)
+		defer r.EndPhase(name)
+	}
+	fn()
 }
 
 // vmSeedBase is the per-VM seed stream origin (see the contract above).
@@ -439,6 +465,16 @@ func (e *Engine) results() []Result {
 			}
 		}
 		out[i] = res
+	}
+	if r := e.cfg.Trace; r != nil {
+		// The recorder is run-scoped, not VM-scoped: every VM's result
+		// carries the same timeline and event stream (rows and events
+		// are tagged with their VM).
+		timeline, events := r.Samples(), r.Events()
+		for i := range out {
+			out[i].Timeline = timeline
+			out[i].Events = events
+		}
 	}
 	return out
 }

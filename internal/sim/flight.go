@@ -1,0 +1,88 @@
+package sim
+
+// Flight-recorder gauge capture for the engine (EngineConfig.Trace).
+// Samples are taken inside recovery.tick on the recorder's stride, so
+// every engine phase contributes rows; sample ticks therefore align
+// with daemon quanta, the granularity at which coalescing state moves.
+
+import (
+	"repro/internal/buddy"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// sample is the recovery sampler hook: on stride ticks it captures one
+// host row and one row per VM.
+func (e *Engine) sample() {
+	if e.cfg.Trace.SampleTick(e.m.Ticks) {
+		e.captureSamples()
+	}
+}
+
+// finalSample forces a capture at the run's last tick so the series
+// always ends on the final state.
+func (e *Engine) finalSample() {
+	if r := e.cfg.Trace; r != nil && r.SampleFinal(e.m.Ticks) {
+		e.captureSamples()
+	}
+}
+
+// captureSamples snapshots the host allocator and every VM's gauges.
+func (e *Engine) captureSamples() {
+	r := e.cfg.Trace
+	r.AddSample(allocatorSample(-1, e.m.HostBuddy))
+	for i, ev := range e.vms {
+		r.AddSample(e.vmSample(i, ev))
+	}
+}
+
+// allocatorSample fills the buddy-allocator gauges for one scope.
+func allocatorSample(vm int, b *buddy.Allocator) trace.Sample {
+	s := trace.Sample{VM: vm, FreePages: b.FreePages()}
+	for o := 0; o < trace.NumOrders; o++ {
+		s.FMFI[o] = b.FMFI(o)
+		s.FreeBlocks[o] = uint64(b.FreeBlockCount(o))
+	}
+	return s
+}
+
+// vmSample snapshots one VM: its guest allocator, both layers' mapping
+// coverage, TLB state, movement counters, and — when the VM runs the
+// Gemini guest policy — booking, bucket, and scanner gauges.
+func (e *Engine) vmSample(i int, ev *engineVM) trace.Sample {
+	vm := ev.vm
+	s := allocatorSample(i, vm.Guest.Buddy)
+
+	s.MappedPages = vm.Guest.MappedPages()
+	s.HugeMappedPages = vm.Guest.Table.Mapped2M() * mem.PagesPerHuge
+	if s.MappedPages > 0 {
+		s.HugeCoverage = float64(s.HugeMappedPages) / float64(s.MappedPages)
+	}
+	s.EPTMappedPages = vm.EPT.MappedPages()
+	s.EPTHugeMappedPages = vm.EPT.Table.Mapped2M() * mem.PagesPerHuge
+
+	ts := vm.TLB.Stats()
+	s.TLBHits = ts.Hits
+	s.TLBMisses = ts.Misses
+	s.TLBMiss4K = ts.Misses4K
+	s.TLBMiss2M = ts.Misses2M
+	s.WalkCycles = ts.WalkCycles
+
+	s.MigratedPages = vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages
+	s.CompactedRegions = vm.Guest.Stats.CompactedRegions + vm.EPT.Stats.CompactedRegions
+
+	if gp, ok := ev.gp.(*core.GuestPolicy); ok {
+		s.Bookings = gp.BookingCount()
+		s.BookingTimeout = int(gp.TimeoutCtl().Timeout())
+		s.BookingsExpired = gp.Stats.BookingsExpired
+		b := gp.Bucket()
+		s.BucketLen = b.Len()
+		s.BucketReused = b.Reused
+		s.BucketTaken = b.Taken
+	}
+	if ev.gem != nil {
+		s.PromoterScans = ev.gem.ScanCount
+	}
+	return s
+}

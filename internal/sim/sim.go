@@ -18,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -138,6 +139,11 @@ type Config struct {
 	AuditEvery int
 	// Seed drives all randomness.
 	Seed int64
+	// Trace, when non-nil, records this run's flight-recorder data:
+	// structured events from every layer and periodic gauge samples.
+	// The run fills Result.Timeline and Result.Events from it. Leave
+	// nil (the default) for zero-overhead untraced runs.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills zero fields.
@@ -233,6 +239,16 @@ type Result struct {
 	BackgroundCycles uint64
 	// BucketReuseRate is reused/taken for Gemini's bucket (§6.3).
 	BucketReuseRate float64
+
+	// Timeline and Events carry the flight-recorder data when the run
+	// was traced (Config.Trace / EngineConfig.Trace); both are nil for
+	// untraced runs. Timeline is the decimated gauge series (one row
+	// per sampled tick per scope, host rows VM == -1); Events is the
+	// retained structured event stream in tick order. When several
+	// runs share one recorder, both reflect everything recorded so
+	// far, with runs separated by Mark events.
+	Timeline []trace.Sample
+	Events   []trace.Event
 }
 
 // buildPolicies constructs the per-layer policies for a system. The
@@ -308,6 +324,7 @@ func (c Config) engineConfig() EngineConfig {
 		Audit:             c.Audit,
 		AuditEvery:        c.AuditEvery,
 		Seed:              c.Seed,
+		Trace:             c.Trace,
 	}
 }
 
@@ -334,6 +351,10 @@ type recovery struct {
 	// auditEvery ticks (Config.Audit).
 	auditors   []audit.Auditable
 	auditEvery int
+
+	// sampler, when set, captures flight-recorder gauge samples after
+	// the machine tick (EngineConfig.Trace). Nil for untraced runs.
+	sampler func()
 }
 
 func (r *recovery) tick(m *machine.Machine) {
@@ -343,6 +364,9 @@ func (r *recovery) tick(m *machine.Machine) {
 		for _, f := range r.fragmenters {
 			f.ReleaseRegions(1)
 		}
+	}
+	if r.sampler != nil {
+		r.sampler()
 	}
 	if r.auditEvery > 0 && r.ticks%r.auditEvery == 0 {
 		r.audit()
@@ -385,6 +409,9 @@ type ColocatedConfig struct {
 	Audit      bool
 	AuditEvery int
 	Seed       int64
+	// Trace, when non-nil, records the run's flight-recorder data, as
+	// in Config.Trace.
+	Trace *trace.Recorder
 }
 
 // base folds the colocated-specific default values into a single-VM
@@ -464,6 +491,7 @@ func (cc ColocatedConfig) engineConfig() EngineConfig {
 		Audit:             cc.Audit,
 		AuditEvery:        base.AuditEvery,
 		Seed:              cc.Seed,
+		Trace:             cc.Trace,
 	}
 }
 

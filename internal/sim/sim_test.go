@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/workload"
@@ -57,7 +58,7 @@ func TestRunBasics(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	a := Run(smallCfg(Gemini, workload.Masstree()))
 	b := Run(smallCfg(Gemini, workload.Masstree()))
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("non-deterministic:\n%+v\n%+v", a, b)
 	}
 }

@@ -64,6 +64,8 @@ type Stats struct {
 	Flushes     uint64 // entries removed by shootdowns
 	Insert4K    uint64
 	Insert2M    uint64
+	Misses4K    uint64 // misses refilled with a 4 KiB entry
+	Misses2M    uint64 // misses refilled with a 2 MiB entry
 	PWCHits     uint64
 	PWCMisses   uint64
 	NestedWalks uint64
@@ -321,6 +323,11 @@ func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
 		return AccessResult{Cycles: t.cfg.HitCycles}
 	}
 	t.stats.Misses++
+	if kind == mem.Huge {
+		t.stats.Misses2M++
+	} else {
+		t.stats.Misses4K++
+	}
 	t.stats.NativeWalks++
 	refs := t.NativeWalkRefs(va, kind)
 	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
@@ -341,6 +348,11 @@ func (t *TLB) AccessNested(va uint64, effKind, gKind, hKind mem.PageSizeKind, gp
 		return AccessResult{Cycles: t.cfg.HitCycles}
 	}
 	t.stats.Misses++
+	if effKind == mem.Huge {
+		t.stats.Misses2M++
+	} else {
+		t.stats.Misses4K++
+	}
 	t.stats.NestedWalks++
 	refs := t.NestedWalkRefs(va, gKind, gpa, hKind)
 	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteEventsJSONL writes events one JSON object per line, in order.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventsJSONL decodes a JSONL event stream written by
+// WriteEventsJSONL. Blank lines are skipped.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace: bad event line %q: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// seriesHeader is the fixed CSV column order for sample series. The
+// per-order gauges are flattened as fmfi0..fmfiN / free_blocks0..N.
+func seriesHeader() []string {
+	h := []string{"tick", "phase", "vm"}
+	for o := 0; o < NumOrders; o++ {
+		h = append(h, "fmfi"+strconv.Itoa(o))
+	}
+	for o := 0; o < NumOrders; o++ {
+		h = append(h, "free_blocks"+strconv.Itoa(o))
+	}
+	return append(h,
+		"free_pages",
+		"mapped_pages", "huge_mapped_pages", "huge_coverage",
+		"ept_mapped_pages", "ept_huge_mapped_pages",
+		"tlb_hits", "tlb_misses", "tlb_miss_4k", "tlb_miss_2m", "walk_cycles",
+		"bookings", "booking_timeout", "bookings_expired",
+		"bucket_len", "bucket_reused", "bucket_taken",
+		"migrated_pages", "compacted_regions", "promoter_scans",
+	)
+}
+
+func fu(v uint64) string  { return strconv.FormatUint(v, 10) }
+func fi(v int) string     { return strconv.Itoa(v) }
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteSeriesCSV writes the sample series with a fixed header row.
+func WriteSeriesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(seriesHeader()); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(seriesHeader()))
+	for i := range samples {
+		s := &samples[i]
+		row = row[:0]
+		row = append(row, fu(s.Tick), s.Phase, fi(s.VM))
+		for o := 0; o < NumOrders; o++ {
+			row = append(row, ff(s.FMFI[o]))
+		}
+		for o := 0; o < NumOrders; o++ {
+			row = append(row, fu(s.FreeBlocks[o]))
+		}
+		row = append(row,
+			fu(s.FreePages),
+			fu(s.MappedPages), fu(s.HugeMappedPages), ff(s.HugeCoverage),
+			fu(s.EPTMappedPages), fu(s.EPTHugeMappedPages),
+			fu(s.TLBHits), fu(s.TLBMisses), fu(s.TLBMiss4K), fu(s.TLBMiss2M), fu(s.WalkCycles),
+			fi(s.Bookings), fi(s.BookingTimeout), fu(s.BookingsExpired),
+			fi(s.BucketLen), fu(s.BucketReused), fu(s.BucketTaken),
+			fu(s.MigratedPages), fu(s.CompactedRegions), fu(s.PromoterScans),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV decodes a series CSV written by WriteSeriesCSV. It
+// locates columns by header name, so readers tolerate schema growth.
+func ReadSeriesCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading series header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	need := func(name string) (int, error) {
+		i, ok := col[name]
+		if !ok {
+			return 0, fmt.Errorf("trace: series CSV missing column %q", name)
+		}
+		return i, nil
+	}
+	var out []Sample
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		get := func(name string) (string, error) {
+			i, err := need(name)
+			if err != nil {
+				return "", err
+			}
+			if i >= len(rec) {
+				return "", fmt.Errorf("trace: series row too short for column %q", name)
+			}
+			return rec[i], nil
+		}
+		var s Sample
+		var firstErr error
+		u := func(name string) uint64 {
+			str, err := get(name)
+			if err == nil {
+				var v uint64
+				v, err = strconv.ParseUint(str, 10, 64)
+				if err == nil {
+					return v
+				}
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		n := func(name string) int {
+			str, err := get(name)
+			if err == nil {
+				var v int
+				v, err = strconv.Atoi(str)
+				if err == nil {
+					return v
+				}
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		f := func(name string) float64 {
+			str, err := get(name)
+			if err == nil {
+				var v float64
+				v, err = strconv.ParseFloat(str, 64)
+				if err == nil {
+					return v
+				}
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		s.Tick = u("tick")
+		s.Phase, _ = get("phase")
+		s.VM = n("vm")
+		for o := 0; o < NumOrders; o++ {
+			s.FMFI[o] = f("fmfi" + strconv.Itoa(o))
+			s.FreeBlocks[o] = u("free_blocks" + strconv.Itoa(o))
+		}
+		s.FreePages = u("free_pages")
+		s.MappedPages = u("mapped_pages")
+		s.HugeMappedPages = u("huge_mapped_pages")
+		s.HugeCoverage = f("huge_coverage")
+		s.EPTMappedPages = u("ept_mapped_pages")
+		s.EPTHugeMappedPages = u("ept_huge_mapped_pages")
+		s.TLBHits = u("tlb_hits")
+		s.TLBMisses = u("tlb_misses")
+		s.TLBMiss4K = u("tlb_miss_4k")
+		s.TLBMiss2M = u("tlb_miss_2m")
+		s.WalkCycles = u("walk_cycles")
+		s.Bookings = n("bookings")
+		s.BookingTimeout = n("booking_timeout")
+		s.BookingsExpired = u("bookings_expired")
+		s.BucketLen = n("bucket_len")
+		s.BucketReused = u("bucket_reused")
+		s.BucketTaken = u("bucket_taken")
+		s.MigratedPages = u("migrated_pages")
+		s.CompactedRegions = u("compacted_regions")
+		s.PromoterScans = u("promoter_scans")
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

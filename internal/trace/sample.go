@@ -1,0 +1,134 @@
+package trace
+
+import "repro/internal/mem"
+
+// NumOrders is how many buddy orders each sample tracks (0..HugeOrder).
+const NumOrders = mem.HugeOrder + 1
+
+// Sample is one fixed-schema gauge snapshot of a single scope — one VM
+// (VM >= 0) or the host buddy allocator (VM == -1) — at one tick. All
+// counters are cumulative since run start; the series turns them into
+// trajectories.
+type Sample struct {
+	Tick  uint64 `json:"tick"`
+	Phase string `json:"phase"`
+	VM    int    `json:"vm"` // -1 = host
+
+	// Allocator state.
+	FMFI       [NumOrders]float64 `json:"fmfi"`
+	FreeBlocks [NumOrders]uint64  `json:"free_blocks"`
+	FreePages  uint64             `json:"free_pages"`
+
+	// Mapping state (VM scopes only).
+	MappedPages        uint64  `json:"mapped_pages"`
+	HugeMappedPages    uint64  `json:"huge_mapped_pages"`
+	HugeCoverage       float64 `json:"huge_coverage"`
+	EPTMappedPages     uint64  `json:"ept_mapped_pages"`
+	EPTHugeMappedPages uint64  `json:"ept_huge_mapped_pages"`
+
+	// TLB and walk state (VM scopes only).
+	TLBHits    uint64 `json:"tlb_hits"`
+	TLBMisses  uint64 `json:"tlb_misses"`
+	TLBMiss4K  uint64 `json:"tlb_miss_4k"`
+	TLBMiss2M  uint64 `json:"tlb_miss_2m"`
+	WalkCycles uint64 `json:"walk_cycles"`
+
+	// Guest coalescing policy state (VM scopes running the booking
+	// policy; zero otherwise).
+	Bookings        int    `json:"bookings"`
+	BookingTimeout  int    `json:"booking_timeout"`
+	BookingsExpired uint64 `json:"bookings_expired"`
+	BucketLen       int    `json:"bucket_len"`
+	BucketReused    uint64 `json:"bucket_reused"`
+	BucketTaken     uint64 `json:"bucket_taken"`
+
+	// Movement and scanning.
+	MigratedPages    uint64 `json:"migrated_pages"`
+	CompactedRegions uint64 `json:"compacted_regions"`
+	PromoterScans    uint64 `json:"promoter_scans"`
+}
+
+// SampleTick reports whether gauges should be captured at tick, and
+// marks the tick as sampled when it returns true. The first call
+// always samples (so tick 0 / the run's first tick is in the series);
+// later ticks sample on the current stride. Decimation runs between
+// tick groups: when the series is at capacity, every other retained
+// tick group is dropped and the stride doubles, keeping memory
+// bounded while preserving the first sample.
+func (r *Recorder) SampleTick(tick uint64) bool {
+	if !r.haveSample {
+		r.firstTick = tick
+		r.haveSample = true
+		r.lastSampled = tick
+		return true
+	}
+	if tick == r.lastSampled {
+		return false // already captured this tick
+	}
+	r.decimate()
+	if tick%r.every != 0 {
+		return false
+	}
+	r.lastSampled = tick
+	return true
+}
+
+// SampleFinal forces a capture at the run's last tick so the series
+// always ends on the final state. It reports false when that tick was
+// already sampled by the stride.
+func (r *Recorder) SampleFinal(tick uint64) bool {
+	if r.haveSample && r.lastSampled == tick {
+		return false
+	}
+	if !r.haveSample {
+		r.firstTick = tick
+		r.haveSample = true
+	}
+	r.decimate()
+	r.lastSampled = tick
+	return true
+}
+
+// AddSample appends one gauge snapshot, stamping the recorder's
+// current tick and phase. Callers fill every other field.
+func (r *Recorder) AddSample(s Sample) {
+	s.Tick = r.lastSampled
+	s.Phase = r.phase
+	r.samples = append(r.samples, s)
+}
+
+// Samples returns the retained series in tick order.
+func (r *Recorder) Samples() []Sample {
+	out := make([]Sample, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// Stride returns the current sampling stride in ticks (it doubles as
+// decimation compresses the series).
+func (r *Recorder) Stride() uint64 { return r.every }
+
+// decimate halves the series when it is at capacity: tick groups not
+// aligned to the doubled stride are dropped (the first-tick group is
+// always kept), and the stride doubles so future sampling matches the
+// thinned density. It runs only between tick groups, so a group's
+// host+VM rows are never split.
+func (r *Recorder) decimate() {
+	for len(r.samples) >= r.cfg.MaxSamples {
+		next := r.every * 2
+		kept := r.samples[:0]
+		for _, s := range r.samples {
+			if s.Tick == r.firstTick || s.Tick%next == 0 {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == len(r.samples) {
+			// Nothing droppable (e.g. everything in one group):
+			// give up rather than loop forever.
+			r.every = next
+			return
+		}
+		r.samples = kept
+		r.every = next
+	}
+}

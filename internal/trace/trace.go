@@ -1,0 +1,266 @@
+// Package trace is the simulator's flight recorder: a bounded,
+// deterministic record of what a run did over time, with two facets.
+//
+//   - A structured event trace: typed events (promotions, demotions,
+//     splits, collapse failures, booking open/expire, compaction
+//     passes, migrations, engine phase boundaries) stamped with the
+//     simulated tick, VM, frame numbers, order, and a free-form
+//     reason, captured in a lossy ring buffer with drop accounting.
+//   - A time-series sampler (sample.go): fixed-schema gauge snapshots
+//     per VM and for the host at a configurable tick stride, held in
+//     a decimating series with bounded memory.
+//
+// Determinism contract: the recorder never reads the wall clock. Its
+// notion of time is the simulated tick, advanced by the machine via
+// SetNow, so two runs of the same seed produce byte-identical traces.
+// Recording is strictly opt-in and zero-cost when disabled: layers
+// hold a nil *Handle and guard every emission with a nil check, so a
+// run without a recorder constructs no event values at all.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventType identifies one kind of structured trace event.
+type EventType uint8
+
+// The event vocabulary. Promote/Demote/Split/CollapseFail come from
+// the page-table layers, BookingOpen/BookingExpire from the guest
+// huge-booking policy, CompactionPass/Migration from memory movement,
+// and PhaseStart/PhaseEnd from the engine's run phases.
+const (
+	EvPhaseStart EventType = iota
+	EvPhaseEnd
+	EvPromote
+	EvDemote
+	EvSplit
+	EvCollapseFail
+	EvBookingOpen
+	EvBookingExpire
+	EvCompactionPass
+	EvMigration
+	numEventTypes
+)
+
+var eventTypeNames = [numEventTypes]string{
+	EvPhaseStart:     "PhaseStart",
+	EvPhaseEnd:       "PhaseEnd",
+	EvPromote:        "Promote",
+	EvDemote:         "Demote",
+	EvSplit:          "Split",
+	EvCollapseFail:   "CollapseFail",
+	EvBookingOpen:    "BookingOpen",
+	EvBookingExpire:  "BookingExpire",
+	EvCompactionPass: "CompactionPass",
+	EvMigration:      "Migration",
+}
+
+// String returns the canonical event-type name used in JSONL output.
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// EventTypes lists every event type in declaration order.
+func EventTypes() []EventType {
+	out := make([]EventType, numEventTypes)
+	for i := range out {
+		out[i] = EventType(i)
+	}
+	return out
+}
+
+// ParseEventType resolves a canonical event-type name.
+func ParseEventType(s string) (EventType, error) {
+	for i, n := range eventTypeNames {
+		if n == s {
+			return EventType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event type %q", s)
+}
+
+// MarshalJSON encodes the type as its canonical name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	if int(t) >= len(eventTypeNames) {
+		return nil, fmt.Errorf("trace: cannot marshal %v", t)
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a canonical event-type name.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseEventType(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// Event is one structured trace record. Addr is a byte address in the
+// emitting layer's input space (GVA for the guest layer, GPA for the
+// EPT layer); Frame is the corresponding output frame number (GFN for
+// guest, HFN for EPT). VM is -1 for host-scoped events such as phase
+// boundaries. Fields that do not apply to a given type are zero and
+// elided from JSONL output.
+type Event struct {
+	Tick   uint64    `json:"tick"`
+	Type   EventType `json:"type"`
+	VM     int       `json:"vm"`
+	Layer  string    `json:"layer,omitempty"`
+	Addr   uint64    `json:"addr,omitempty"`
+	Frame  uint64    `json:"frame,omitempty"`
+	Order  int       `json:"order,omitempty"`
+	Pages  uint64    `json:"pages,omitempty"`
+	Reason string    `json:"reason,omitempty"`
+}
+
+// Config bounds the recorder's memory.
+type Config struct {
+	// SampleEvery is the initial tick stride between gauge snapshots.
+	// The stride doubles whenever the series would exceed MaxSamples,
+	// so long runs decimate instead of growing. <= 0 means 16.
+	SampleEvery int
+	// MaxSamples caps the in-memory series length (in individual
+	// per-VM/host rows). <= 0 means 8192.
+	MaxSamples int
+	// EventCap caps the event ring; once full, the oldest events are
+	// overwritten and Dropped counts them. <= 0 means 65536.
+	EventCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 16
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 8192
+	}
+	if c.EventCap <= 0 {
+		c.EventCap = 65536
+	}
+	return c
+}
+
+// Recorder is the flight recorder for one simulation run (or one
+// sequential batch of runs sharing a trace). It is not safe for
+// concurrent use; traced runs execute sequentially.
+type Recorder struct {
+	cfg   Config
+	now   uint64 // current simulated tick, set by the machine
+	phase string // current engine phase label, stamped onto samples
+
+	// Event ring. start is the oldest element; length grows to
+	// len(ring) and then the ring overwrites, counting drops.
+	ring    []Event
+	start   int
+	length  int
+	dropped uint64
+
+	// Sample series (sample.go).
+	samples     []Sample
+	every       uint64 // current stride in ticks; doubles on decimation
+	firstTick   uint64
+	haveSample  bool
+	lastSampled uint64
+}
+
+// NewRecorder builds a recorder with the given bounds.
+func NewRecorder(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:   cfg,
+		ring:  make([]Event, cfg.EventCap),
+		every: uint64(cfg.SampleEvery),
+	}
+}
+
+// SetNow advances the recorder's simulated clock. The machine calls
+// this once per tick; every subsequent event and sample is stamped
+// with this tick.
+func (r *Recorder) SetNow(tick uint64) { r.now = tick }
+
+// Now returns the current simulated tick.
+func (r *Recorder) Now() uint64 { return r.now }
+
+// Phase returns the current engine phase label.
+func (r *Recorder) Phase() string { return r.phase }
+
+// BeginPhase records an engine phase boundary and labels subsequent
+// samples with the phase name.
+func (r *Recorder) BeginPhase(name string) {
+	r.phase = name
+	r.push(Event{Tick: r.now, Type: EvPhaseStart, VM: -1, Reason: name})
+}
+
+// EndPhase records the end of an engine phase.
+func (r *Recorder) EndPhase(name string) {
+	r.push(Event{Tick: r.now, Type: EvPhaseEnd, VM: -1, Reason: name})
+	r.phase = ""
+}
+
+// Mark records a host-scoped annotation event (e.g. a run boundary
+// when several runs share one recorder).
+func (r *Recorder) Mark(label string) {
+	r.push(Event{Tick: r.now, Type: EvPhaseStart, VM: -1, Reason: "mark:" + label})
+}
+
+// Handle returns the emission handle for one layer of one VM. VM -1
+// denotes the host. Handles are cheap and may be rebuilt freely.
+func (r *Recorder) Handle(vm int, layer string) *Handle {
+	return &Handle{r: r, vm: vm, layer: layer}
+}
+
+// push appends an event, overwriting the oldest when the ring is full.
+func (r *Recorder) push(e Event) {
+	if r.length < len(r.ring) {
+		r.ring[(r.start+r.length)%len(r.ring)] = e
+		r.length++
+		return
+	}
+	r.ring[r.start] = e
+	r.start = (r.start + 1) % len(r.ring)
+	r.dropped++
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, r.length)
+	for i := 0; i < r.length; i++ {
+		out[i] = r.ring[(r.start+i)%len(r.ring)]
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Handle emits events for one (VM, layer) pair. A nil handle is inert:
+// callers hold a nil *Handle when tracing is disabled and guard every
+// emission site with a nil check so no event values are constructed.
+type Handle struct {
+	r     *Recorder
+	vm    int
+	layer string
+}
+
+// Event records one structured event, stamped with the recorder's
+// current tick and this handle's VM and layer.
+func (h *Handle) Event(typ EventType, addr, frame uint64, order int, pages uint64, reason string) {
+	if h == nil {
+		return
+	}
+	h.r.push(Event{
+		Tick: h.r.now, Type: typ, VM: h.vm, Layer: h.layer,
+		Addr: addr, Frame: frame, Order: order, Pages: pages, Reason: reason,
+	})
+}

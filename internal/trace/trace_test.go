@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestRingWraparound locks the lossy-ring contract: once the ring is
+// full the oldest events are overwritten, retained events stay in
+// chronological order, and Dropped counts exactly the overwritten ones.
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(Config{EventCap: 4})
+	for i := 0; i < 10; i++ {
+		r.SetNow(uint64(i))
+		r.Handle(0, "guest").Event(EvPromote, uint64(i), 0, 9, 0, "x")
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		want := uint64(6 + i) // oldest retained is event #6
+		if e.Tick != want || e.Addr != want {
+			t.Errorf("event %d = tick %d addr %d, want %d", i, e.Tick, e.Addr, want)
+		}
+	}
+}
+
+// TestRingUnderCapacity checks that a ring that never fills drops
+// nothing and returns every event in order.
+func TestRingUnderCapacity(t *testing.T) {
+	r := NewRecorder(Config{EventCap: 8})
+	for i := 0; i < 5; i++ {
+		r.SetNow(uint64(i))
+		r.BeginPhase("p")
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Tick != uint64(i) {
+			t.Errorf("event %d at tick %d, want %d", i, e.Tick, i)
+		}
+	}
+}
+
+// TestNilHandleInert locks the zero-cost-when-disabled contract at the
+// API level: emitting through a nil handle is a no-op, not a panic.
+func TestNilHandleInert(t *testing.T) {
+	var h *Handle
+	h.Event(EvPromote, 1, 2, 9, 512, "nil") // must not panic
+}
+
+// TestSampleStride locks the stride math: the first tick offered is
+// always sampled regardless of alignment, subsequent ticks sample on
+// the stride, the same tick is never sampled twice, and SampleFinal
+// forces the last tick into the series.
+func TestSampleStride(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 10})
+	var sampled []uint64
+	for tick := uint64(3); tick <= 47; tick++ {
+		r.SetNow(tick)
+		if r.SampleTick(tick) {
+			r.AddSample(Sample{VM: -1})
+			sampled = append(sampled, tick)
+		}
+	}
+	if r.SampleFinal(47) {
+		r.AddSample(Sample{VM: -1})
+		sampled = append(sampled, 47)
+	}
+	want := []uint64{3, 10, 20, 30, 40, 47}
+	if !reflect.DeepEqual(sampled, want) {
+		t.Fatalf("sampled ticks = %v, want %v", sampled, want)
+	}
+	// The series rows must carry the sampled ticks.
+	var got []uint64
+	for _, s := range r.Samples() {
+		got = append(got, s.Tick)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("series ticks = %v, want %v", got, want)
+	}
+}
+
+// TestSampleFinalNoDuplicate: SampleFinal on an already-sampled tick
+// reports false so the engine does not duplicate the last row group.
+func TestSampleFinalNoDuplicate(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 5})
+	r.SampleTick(10)
+	if r.SampleFinal(10) {
+		t.Fatal("SampleFinal resampled a tick the stride already captured")
+	}
+	if r.SampleFinal(11) != true {
+		t.Fatal("SampleFinal refused a new final tick")
+	}
+}
+
+// TestSampleDecimation: when the series hits MaxSamples the stride
+// doubles and alternate tick groups are dropped, keeping memory
+// bounded, the first tick retained, and group rows (host + VMs at one
+// tick) intact.
+func TestSampleDecimation(t *testing.T) {
+	const maxSamples = 64
+	r := NewRecorder(Config{SampleEvery: 1, MaxSamples: maxSamples})
+	rowsPerTick := 3 // host + 2 VMs
+	for tick := uint64(1); tick <= 1000; tick++ {
+		r.SetNow(tick)
+		if r.SampleTick(tick) {
+			for vm := -1; vm < rowsPerTick-1; vm++ {
+				r.AddSample(Sample{VM: vm})
+			}
+		}
+	}
+	s := r.Samples()
+	if len(s) == 0 || len(s) >= maxSamples+rowsPerTick {
+		t.Fatalf("series length %d not bounded by %d", len(s), maxSamples+rowsPerTick)
+	}
+	if s[0].Tick != 1 {
+		t.Fatalf("first retained tick = %d, want 1 (first tick must survive decimation)", s[0].Tick)
+	}
+	if r.Stride() <= 1 {
+		t.Fatalf("stride = %d, want > 1 after decimation", r.Stride())
+	}
+	// Groups intact: each retained tick appears exactly rowsPerTick
+	// times, consecutively, with ticks non-decreasing.
+	counts := map[uint64]int{}
+	for i, row := range s {
+		counts[row.Tick]++
+		if i > 0 && row.Tick < s[i-1].Tick {
+			t.Fatalf("series out of order at row %d: %d after %d", i, row.Tick, s[i-1].Tick)
+		}
+	}
+	for tick, n := range counts {
+		if n != rowsPerTick {
+			t.Errorf("tick %d retained %d rows, want %d (group split by decimation)", tick, n, rowsPerTick)
+		}
+	}
+}
+
+// TestEventsJSONLRoundTrip encodes one event of every type and decodes
+// it back identically — the trace-file format contract.
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	var events []Event
+	for i, typ := range EventTypes() {
+		events = append(events, Event{
+			Tick: uint64(100 + i), Type: typ, VM: i%3 - 1, Layer: "guest",
+			Addr: uint64(i) << 21, Frame: uint64(i * 512), Order: 9,
+			Pages: uint64(i), Reason: "reason-" + typ.String(),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEventsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+// TestEventTypeNames locks the canonical names and the parse inverse.
+func TestEventTypeNames(t *testing.T) {
+	for _, typ := range EventTypes() {
+		back, err := ParseEventType(typ.String())
+		if err != nil || back != typ {
+			t.Errorf("ParseEventType(%q) = %v, %v", typ.String(), back, err)
+		}
+	}
+	if _, err := ParseEventType("NotAnEvent"); err == nil {
+		t.Error("ParseEventType accepted an unknown name")
+	}
+}
+
+// TestSeriesCSVRoundTrip encodes a populated sample and decodes it
+// back identically — the series-file format contract.
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	s := Sample{
+		Tick: 42, Phase: "measure", VM: 1,
+		FreePages: 1000, MappedPages: 2048, HugeMappedPages: 1024,
+		HugeCoverage: 0.5, EPTMappedPages: 2048, EPTHugeMappedPages: 512,
+		TLBHits: 9000, TLBMisses: 1000, TLBMiss4K: 700, TLBMiss2M: 300,
+		WalkCycles: 123456, Bookings: 3, BookingTimeout: 192,
+		BookingsExpired: 2, BucketLen: 5, BucketReused: 7, BucketTaken: 9,
+		MigratedPages: 11, CompactedRegions: 2, PromoterScans: 77,
+	}
+	for o := 0; o < NumOrders; o++ {
+		s.FMFI[o] = float64(o) / 10
+		s.FreeBlocks[o] = uint64(100 - o)
+	}
+	host := Sample{Tick: 42, Phase: "measure", VM: -1, FreePages: 5}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []Sample{host, s}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], host) || !reflect.DeepEqual(got[1], s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, []Sample{host, s})
+	}
+}
+
+// TestReadSeriesCSVMissingColumn: a truncated header is an error, not
+// silently zeroed data.
+func TestReadSeriesCSVMissingColumn(t *testing.T) {
+	if _, err := ReadSeriesCSV(bytes.NewBufferString("tick,vm\n1,0\n")); err == nil {
+		t.Fatal("ReadSeriesCSV accepted a CSV missing most columns")
+	}
+}
