@@ -5,7 +5,8 @@
 //
 //	geminisim [-system GEMINI] [-workload masstree] [-fragmented]
 //	          [-reused] [-requests 4000] [-seed 1] [-all-systems]
-//	          [-vms N] [-trace FILE] [-series FILE] [-sample-every N]
+//	          [-parallel N] [-vms N] [-trace FILE] [-series FILE]
+//	          [-sample-every N]
 //
 // With -vms N > 1, N copies of the workload run as separate VMs
 // consolidated on one host through the unified engine, and one row is
@@ -16,15 +17,20 @@
 // written as JSONL; with -series FILE the per-tick sample series (FMFI
 // per order, huge coverage, TLB misses, booking and bucket state) is
 // written as CSV, one row per VM plus one host row (vm=-1) per sampled
-// tick. -sample-every sets the sampling stride in ticks. When several
-// systems or VMs run, all of them share one recorder and the files
-// cover every run in order.
+// tick. -sample-every sets the sampling stride in ticks.
+//
+// With -all-systems the systems run concurrently, up to -parallel at a
+// time. Tracing composes with that: each system records into a private
+// shard of the recorder and the shards are merged in system order
+// before the files are written, so the output is byte-identical at any
+// -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro"
 )
@@ -37,6 +43,7 @@ func main() {
 	requests := flag.Int("requests", 4000, "measured requests")
 	seed := flag.Int64("seed", 1, "random seed")
 	allSystems := flag.Bool("all-systems", false, "run every system and compare")
+	par := flag.Int("parallel", 1, "run up to N systems concurrently with -all-systems (composes with -trace/-series)")
 	vms := flag.Int("vms", 1, "number of VMs running the workload, consolidated on one host")
 	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE")
 	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE")
@@ -73,11 +80,8 @@ func main() {
 		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed, *vms)
 	fmt.Printf("%-22s %10s %10s %10s %9s %8s %7s %7s\n",
 		"system", "thpt/Mcyc", "mean(cyc)", "p99(cyc)", "tlbm/kacc", "aligned", "guestH", "hostH")
-	for _, sys := range systems {
-		if rec != nil && len(systems) > 1 {
-			rec.Mark(sys.String())
-		}
-		for i, r := range runOne(sys, spec, *vms, *fragmented, *reused, *requests, *seed, rec) {
+	for _, rows := range runAll(systems, spec, *vms, *fragmented, *reused, *requests, *seed, *par, rec) {
+		for i, r := range rows {
 			label := r.System
 			if *vms > 1 {
 				label = fmt.Sprintf("%s vm%d", r.System, i)
@@ -91,6 +95,41 @@ func main() {
 	if rec != nil {
 		writeTrace(rec, *traceOut, *seriesOut)
 	}
+}
+
+// runAll runs every system, up to par at a time, and returns their
+// result rows in system order. With a recorder attached, a single
+// system records straight into it; several systems each record into a
+// private shard keyed by their index, merged in system order after the
+// last one finishes, so the trace is identical at any parallelism.
+func runAll(systems []repro.System, spec repro.WorkloadSpec, vms int, fragmented, reused bool, requests int, seed int64, par int, rec *repro.TraceRecorder) [][]repro.Result {
+	if par < 1 {
+		par = 1
+	}
+	if par > len(systems) {
+		par = len(systems)
+	}
+	results := make([][]repro.Result, len(systems))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, sys := range systems {
+		sysRec := rec
+		if rec != nil && len(systems) > 1 {
+			sysRec = rec.Shard(i, sys.String())
+		}
+		wg.Add(1)
+		go func(i int, sys repro.System, sysRec *repro.TraceRecorder) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runOne(sys, spec, vms, fragmented, reused, requests, seed, sysRec)
+		}(i, sys, sysRec)
+	}
+	wg.Wait()
+	if rec != nil && len(systems) > 1 {
+		rec.MergeShards()
+	}
+	return results
 }
 
 // runOne runs the configured experiment: a single VM through Run, or

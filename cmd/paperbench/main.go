@@ -15,9 +15,12 @@
 // machine-readable paperbench/v1 JSON report (validated before
 // writing); -validate-json FILE checks an existing report against the
 // schema contract and exits. With -trace/-series the flight recorder is
-// attached to every run (forcing sequential execution) and the
-// structured event log (JSONL) and per-tick sample series (CSV) are
-// written after the grids finish; -sample-every sets the tick stride.
+// attached to every run and the structured event log (JSONL) and
+// per-tick sample series (CSV) are written after the grids finish;
+// -sample-every sets the tick stride. Tracing composes with -parallel:
+// every grid cell records into a private shard of the recorder and the
+// shards are merged in grid order, so the trace and series files are
+// byte-identical at any parallelism.
 //
 // The manyvms experiment consolidates -vms heterogeneous VMs on one
 // fragmented host through the unified engine and compares per-VM
@@ -44,8 +47,8 @@ func main() {
 	vms := flag.Int("vms", 4, "VM count for the manyvms experiment")
 	jsonOut := flag.String("json", "", "write the figure grids as a paperbench/v1 JSON report to FILE")
 	validateJSON := flag.String("validate-json", "", "validate an existing paperbench/v1 JSON report and exit")
-	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE (forces sequential runs)")
-	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE (forces sequential runs)")
+	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE (composes with -parallel)")
+	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE (composes with -parallel)")
 	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
 	flag.Parse()
 
@@ -338,7 +341,12 @@ func manyVMs(o repro.Options, n int) []repro.BenchCell {
 // printNormalized prints throughput normalized to Host-B-VM-B plus a
 // geometric-mean row.
 func printNormalized(rows []repro.Result) {
-	norm := repro.NormalizeThroughput(rows, "Host-B-VM-B")
+	norm, err := repro.NormalizeThroughput(rows, "Host-B-VM-B")
+	if err != nil {
+		// A grid without its baseline is a broken run, not a figure.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var flat []repro.Result
 	for _, r := range rows {
 		r2 := r

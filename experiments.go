@@ -34,9 +34,13 @@ type Options struct {
 	// panicking with a report on the first violation.
 	Audit bool
 	// Trace, when non-nil, attaches the flight recorder to every run
-	// of the experiment. The recorder is not safe for concurrent use,
-	// so tracing forces sequential execution (Parallel is ignored);
-	// runs append to the shared recorder in deterministic grid order.
+	// of the experiment. Tracing composes with Parallel: each grid
+	// cell records into a private shard of this recorder
+	// (Recorder.Shard, keyed by grid index), and after the grid
+	// finishes the shards are merged into the recorder in grid order,
+	// so the recorder's merged event stream and sample series are
+	// byte-identical at any parallelism. Each cell's Result carries
+	// only that cell's own Timeline/Events.
 	Trace *trace.Recorder
 }
 
@@ -79,14 +83,22 @@ func (o Options) requests() int {
 }
 
 func (o Options) parallel() int {
-	if o.Trace != nil {
-		// One shared recorder: traced runs must not interleave.
-		return 1
-	}
 	if o.Parallel > 0 {
 		return o.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// quickSpec applies the Quick footprint scaling to one workload spec:
+// footprints above 32 MB halve, smaller ones are left alone. Every
+// figure routes its scaling through here — single-VM grids, the
+// consolidation pairs, and ManyVMs — so Quick means the same thing
+// everywhere.
+func (o Options) quickSpec(s workload.Spec) workload.Spec {
+	if o.Quick && s.FootprintMB > 32 {
+		s.FootprintMB /= 2
+	}
+	return s
 }
 
 // specs resolves the workload selection, applying Quick scaling.
@@ -102,17 +114,11 @@ func (o Options) specs(defaults []workload.Spec) []workload.Spec {
 			sel = append(sel, s)
 		}
 	}
-	if o.Quick {
-		scaled := make([]workload.Spec, len(sel))
-		for i, s := range sel {
-			if s.FootprintMB > 32 {
-				s.FootprintMB /= 2
-			}
-			scaled[i] = s
-		}
-		return scaled
+	scaled := make([]workload.Spec, len(sel))
+	for i, s := range sel {
+		scaled[i] = o.quickSpec(s)
 	}
-	return sel
+	return scaled
 }
 
 // tlbSensitiveSpecs returns Table 2 minus the non-TLB-sensitive pair,
@@ -131,7 +137,10 @@ func tlbSensitiveSpecs() []workload.Spec {
 // fn is captured and re-raised in the caller with the job identity
 // describe(i) reports prepended (plus the worker's stack), so a
 // failing cell is attributable instead of crashing an anonymous
-// goroutine. When several jobs panic, the first is reported.
+// goroutine. When several jobs panic, the one with the lowest job
+// index is reported — the first in grid order — so the re-raised
+// panic is deterministic at any parallelism, not a race between
+// workers.
 func forEach(n, parallel int, describe func(i int) string, fn func(i int)) {
 	if parallel > n {
 		parallel = n
@@ -142,7 +151,7 @@ func forEach(n, parallel int, describe func(i int) string, fn func(i int)) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		panicked bool
+		panicIdx = -1
 		panicID  string
 		panicVal any
 		panicStk []byte
@@ -152,8 +161,8 @@ func forEach(n, parallel int, describe func(i int) string, fn func(i int)) {
 			if r := recover(); r != nil {
 				mu.Lock()
 				defer mu.Unlock()
-				if !panicked {
-					panicked, panicVal, panicID, panicStk = true, r, describe(i), debug.Stack()
+				if panicIdx < 0 || i < panicIdx {
+					panicIdx, panicVal, panicID, panicStk = i, r, describe(i), debug.Stack()
 				}
 			}
 		}()
@@ -174,7 +183,7 @@ func forEach(n, parallel int, describe func(i int) string, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
-	if panicked {
+	if panicIdx >= 0 {
 		panic(fmt.Sprintf("repro: job %q panicked: %v\n%s", panicID, panicVal, panicStk))
 	}
 }
@@ -195,6 +204,11 @@ type gridJob[U any] struct {
 	Unit    U
 	System  System
 	Setting Setting
+	// Trace is the cell's private recorder shard (nil when the grid is
+	// untraced). Each cell records into its own shard so traced cells
+	// may run concurrently; runGrid merges the shards in grid order
+	// after the barrier.
+	Trace *trace.Recorder
 }
 
 // runGrid is the single job grid every figure runs on: one cell per
@@ -203,6 +217,10 @@ type gridJob[U any] struct {
 // systems). The unit dimension is generic — a workload for the
 // single-VM figures, a workload pair for consolidation, a VM count for
 // N-VM smokes. A panicking cell is re-raised with its grid identity.
+// When the grid is traced, every cell gets a private shard of
+// o.Trace tagged with its grid index, and the shards are merged into
+// o.Trace in grid order once all cells finish — so the recorder's
+// contents are independent of o.Parallel.
 func runGrid[U, R any](o Options, units []U, systems []System, settings []Setting,
 	name func(U) string, run func(gridJob[U]) R) []R {
 	if err := o.Validate(); err != nil {
@@ -216,23 +234,32 @@ func runGrid[U, R any](o Options, units []U, systems []System, settings []Settin
 			}
 		}
 	}
-	out := make([]R, len(jobs))
-	forEach(len(jobs), o.parallel(), func(i int) string {
+	describe := func(i int) string {
 		j := jobs[i]
 		return fmt.Sprintf("%s × %s × %s", name(j.Unit), j.System, j.Setting.Name)
-	}, func(i int) {
+	}
+	if o.Trace != nil {
+		for i := range jobs {
+			jobs[i].Trace = o.Trace.Shard(i, describe(i))
+		}
+	}
+	out := make([]R, len(jobs))
+	forEach(len(jobs), o.parallel(), describe, func(i int) {
 		out[i] = run(jobs[i])
 	})
+	if o.Trace != nil {
+		o.Trace.MergeShards()
+	}
 	return out
 }
 
 // cellConfig builds the single-VM sim.Config for one grid cell.
-func cellConfig(o Options, spec workload.Spec, sys System, st Setting) Config {
+func cellConfig(o Options, j gridJob[workload.Spec]) Config {
 	return Config{
-		System: sys, Workload: spec,
-		Fragmented: st.Fragmented, ReusedVM: st.ReusedVM,
+		System: j.System, Workload: j.Unit,
+		Fragmented: j.Setting.Fragmented, ReusedVM: j.Setting.ReusedVM,
 		Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
-		Trace: o.Trace,
+		Trace: j.Trace,
 	}
 }
 
@@ -244,7 +271,7 @@ func specName(s workload.Spec) string { return s.Name }
 func runCells(o Options, specs []workload.Spec, systems []System, settings []Setting) []Result {
 	return runGrid(o, specs, systems, settings, specName,
 		func(j gridJob[workload.Spec]) Result {
-			return sim.Run(cellConfig(o, j.Unit, j.System, j.Setting))
+			return sim.Run(cellConfig(o, j))
 		})
 }
 
@@ -313,7 +340,7 @@ func CleanSlate(o Options) []CleanSlateRow {
 		func(j gridJob[workload.Spec]) CleanSlateRow {
 			return CleanSlateRow{
 				Fragmented: j.Setting.Fragmented,
-				Result:     sim.Run(cellConfig(o, j.Unit, j.System, j.Setting)),
+				Result:     sim.Run(cellConfig(o, j)),
 			}
 		})
 }
@@ -361,16 +388,12 @@ func Colocated(o Options) map[string][]ColocatedRow {
 	rows := runGrid(o, pairs, Systems(),
 		[]Setting{{Name: "fragmented", Fragmented: true}}, pairName,
 		func(j gridJob[pairSpec]) ColocatedRow {
-			a, b := j.Unit.a, j.Unit.b
-			if o.Quick {
-				a.FootprintMB /= 2
-				b.FootprintMB /= 2
-			}
+			a, b := o.quickSpec(j.Unit.a), o.quickSpec(j.Unit.b)
 			ra, rb := sim.RunColocated(sim.ColocatedConfig{
 				System: j.System, WorkloadA: a, WorkloadB: b,
 				Fragmented: j.Setting.Fragmented,
 				Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
-				Trace:      o.Trace,
+				Trace:      j.Trace,
 			})
 			return ColocatedRow{A: ra, B: rb}
 		})
@@ -418,11 +441,7 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 		func(j gridJob[int]) ManyVMRow {
 			vms := make([]sim.VMConfig, j.Unit)
 			for i := range vms {
-				s := mix[i%len(mix)]
-				if o.Quick && s.FootprintMB > 32 {
-					s.FootprintMB /= 2
-				}
-				vms[i] = sim.VMConfig{System: j.System, Workload: s}
+				vms[i] = sim.VMConfig{System: j.System, Workload: o.quickSpec(mix[i%len(mix)])}
 			}
 			rs := sim.NewEngine(sim.EngineConfig{
 				VMs:        vms,
@@ -430,7 +449,7 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 				Requests:   o.requests(),
 				Seed:       o.seed(),
 				Audit:      o.Audit,
-				Trace:      o.Trace,
+				Trace:      j.Trace,
 			}).Run()
 			return ManyVMRow{System: j.System.String(), Results: rs}
 		})
@@ -439,24 +458,45 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 // --- formatting helpers ---
 
 // NormalizeThroughput returns per-workload throughputs normalized to
-// the named baseline system.
-func NormalizeThroughput(rows []Result, baseline string) map[string]map[string]float64 {
+// the named baseline system. A missing baseline fails loudly instead
+// of producing silently empty inner maps: the error names the
+// baseline when no row carries it at all, and lists the workloads
+// whose baseline throughput is absent or zero otherwise.
+func NormalizeThroughput(rows []Result, baseline string) (map[string]map[string]float64, error) {
 	base := map[string]float64{}
+	baselineSeen := false
 	for _, r := range rows {
 		if r.System == baseline {
+			baselineSeen = true
 			base[r.Workload] = r.Throughput
 		}
 	}
+	if !baselineSeen {
+		return nil, fmt.Errorf("repro: baseline system %q absent from results", baseline)
+	}
 	out := map[string]map[string]float64{}
+	bad := map[string]bool{}
 	for _, r := range rows {
+		b, ok := base[r.Workload]
+		if !ok || b <= 0 {
+			bad[r.Workload] = true
+			continue
+		}
 		if out[r.Workload] == nil {
 			out[r.Workload] = map[string]float64{}
 		}
-		if b := base[r.Workload]; b > 0 {
-			out[r.Workload][r.System] = r.Throughput / b
-		}
+		out[r.Workload][r.System] = r.Throughput / b
 	}
-	return out
+	if len(bad) > 0 {
+		names := make([]string, 0, len(bad))
+		for w := range bad {
+			names = append(names, w)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("repro: baseline %q throughput missing or zero for workloads %v",
+			baseline, names)
+	}
+	return out, nil
 }
 
 // FormatTable renders rows as a fixed-width text table: one line per

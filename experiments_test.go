@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -41,6 +43,63 @@ func TestForEachPanicAttribution(t *testing.T) {
 	for i, d := range done {
 		if i != 5 && !d {
 			t.Errorf("job %d never ran after another job panicked", i)
+		}
+	}
+}
+
+// TestForEachPanicGridOrder pins down which panic wins when several
+// jobs blow up: the lowest job index — first in grid order — not
+// whichever worker's recover ran first. Job 6 is choreographed to
+// panic strictly before job 1 (it releases job 1 only after its own
+// panic is inevitable), yet job 1 must be the one reported.
+func TestForEachPanicGridOrder(t *testing.T) {
+	released := make(chan struct{})
+	var msg string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("forEach swallowed the worker panics")
+			}
+			msg = r.(string)
+		}()
+		forEach(8, 4, func(i int) string {
+			return fmt.Sprintf("job-%d", i)
+		}, func(i int) {
+			switch i {
+			case 1:
+				<-released // job 6 panics first, every time
+				panic("late-low")
+			case 6:
+				defer close(released)
+				panic("early-high")
+			}
+		})
+	}()
+	if !strings.Contains(msg, `"job-1"`) || !strings.Contains(msg, "late-low") {
+		t.Errorf("panic should report the lowest grid index (job 1), got: %q", msg)
+	}
+	if strings.Contains(msg, `"job-6"`) {
+		t.Errorf("panic reports the first-to-arrive job instead of grid order: %q", msg)
+	}
+}
+
+// TestForEachClamp covers both ends of the parallelism clamp: more
+// workers than jobs, and a nonsensical negative value. Every job must
+// run exactly once either way.
+func TestForEachClamp(t *testing.T) {
+	for _, parallel := range []int{100, -5} {
+		var mu sync.Mutex
+		ran := make([]int, 3)
+		forEach(len(ran), parallel, func(i int) string { return "clamp" }, func(i int) {
+			mu.Lock()
+			ran[i]++
+			mu.Unlock()
+		})
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("parallel=%d: job %d ran %d times, want 1", parallel, i, c)
+			}
 		}
 	}
 }

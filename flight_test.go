@@ -48,6 +48,46 @@ func TestTracedRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestTracedParallelGridDeterminism locks the tentpole contract of the
+// shardable recorder: a traced experiment grid writes byte-identical
+// JSONL and CSV whether it runs sequentially or on eight workers. Each
+// cell records into a shard keyed by its grid index and the shards
+// merge in grid order, so scheduling must not be observable.
+func TestTracedParallelGridDeterminism(t *testing.T) {
+	run := func(parallel int) (jsonl, csv []byte) {
+		rec := NewTraceRecorder(TraceConfig{SampleEvery: 64})
+		rows := Breakdown(Options{
+			Quick:     true,
+			Requests:  300,
+			Workloads: []string{"memcached"},
+			Parallel:  parallel,
+			Trace:     rec,
+		})
+		if len(rows) != 3 {
+			t.Fatalf("Breakdown returned %d rows, want 3", len(rows))
+		}
+		var eb, sb bytes.Buffer
+		if err := WriteTraceEvents(&eb, rec.Events()); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceSeries(&sb, rec.Samples()); err != nil {
+			t.Fatal(err)
+		}
+		return eb.Bytes(), sb.Bytes()
+	}
+	j1, c1 := run(1)
+	j8, c8 := run(8)
+	if len(j1) == 0 || len(c1) == 0 {
+		t.Fatalf("traced grid recorded nothing: %d JSONL bytes, %d CSV bytes", len(j1), len(c1))
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("event JSONL differs between Parallel=1 (%d bytes) and Parallel=8 (%d bytes)", len(j1), len(j8))
+	}
+	if !bytes.Equal(c1, c8) {
+		t.Errorf("sample CSV differs between Parallel=1 (%d bytes) and Parallel=8 (%d bytes)", len(c1), len(c8))
+	}
+}
+
 // TestTraceObserverEffect locks the zero-observer contract: attaching
 // the recorder must not change a single reported metric. The traced
 // and untraced runs must agree on every scalar Result field.

@@ -108,7 +108,10 @@ type EngineConfig struct {
 	// emits structured events into it, the engine stamps phase
 	// boundaries, and gauge samples are captured on the recorder's
 	// tick stride. Nil (the default) records nothing and adds nothing
-	// to the run's hot paths.
+	// to the run's hot paths. Engines running concurrently must not
+	// share one recorder; give each engine a private shard of a parent
+	// (trace.Recorder.Shard) and merge the shards after the runs
+	// finish.
 	Trace *trace.Recorder
 }
 

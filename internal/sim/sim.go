@@ -142,7 +142,10 @@ type Config struct {
 	// Trace, when non-nil, records this run's flight-recorder data:
 	// structured events from every layer and periodic gauge samples.
 	// The run fills Result.Timeline and Result.Events from it. Leave
-	// nil (the default) for zero-overhead untraced runs.
+	// nil (the default) for zero-overhead untraced runs. A recorder
+	// must not be shared by concurrent runs directly; give each run a
+	// private shard (trace.Recorder.Shard) and merge after they all
+	// finish, as the experiment grid does.
 	Trace *trace.Recorder
 }
 
@@ -244,9 +247,10 @@ type Result struct {
 	// was traced (Config.Trace / EngineConfig.Trace); both are nil for
 	// untraced runs. Timeline is the decimated gauge series (one row
 	// per sampled tick per scope, host rows VM == -1); Events is the
-	// retained structured event stream in tick order. When several
-	// runs share one recorder, both reflect everything recorded so
-	// far, with runs separated by Mark events.
+	// retained structured event stream in tick order. Both reflect
+	// everything in the run's recorder: a run recording into a private
+	// shard sees only its own data, while runs appending sequentially
+	// to one shared recorder see everything recorded so far.
 	Timeline []trace.Sample
 	Events   []trace.Event
 }

@@ -163,27 +163,33 @@ func (t *TLB) Lookup(va uint64, kind mem.PageSizeKind) bool {
 }
 
 // Insert installs a translation of va at the given kind, evicting the
-// LRU way if the set is full.
+// LRU way if the set is full. A tag already resident anywhere in the
+// set is refreshed in place, never duplicated: the whole set is
+// scanned for a match before a victim way is chosen, so a hole left
+// by FlushPage ahead of the resident way cannot shadow it.
 func (t *TLB) Insert(va uint64, kind mem.PageSizeKind) {
 	tag, si := t.tagOf(va, kind)
 	set := t.sets[si]
 	t.clock++
-	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = t.clock
 			return
 		}
+	}
+	victim := -1
+	for i := range set {
 		if !set[i].valid {
 			victim = i
-			goto place
+			break
 		}
-		if set[i].lru < set[victim].lru {
+		if victim < 0 || set[i].lru < set[victim].lru {
 			victim = i
 		}
 	}
-	t.stats.Evictions++
-place:
+	if set[victim].valid {
+		t.stats.Evictions++
+	}
 	set[victim] = entry{tag: tag, kind: kind, valid: true, lru: t.clock}
 	if kind == mem.Huge {
 		t.stats.Insert2M++

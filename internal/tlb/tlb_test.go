@@ -90,6 +90,45 @@ func TestInsertDuplicate(t *testing.T) {
 	}
 }
 
+// TestInsertAfterFlushNoDuplicate is the regression test for the
+// Insert victim scan: a flush hole earlier in the set must not shadow
+// an entry for the same tag in a later way, or the set ends up with
+// two valid copies of one translation and silently loses a way of
+// reach. Insert must scan the whole set for the tag before it picks a
+// victim.
+func TestInsertAfterFlushNoDuplicate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sets = 1
+	cfg.Ways = 2
+	tl := New(cfg)
+	tl.Insert(0x0000, mem.Base) // way 0
+	tl.Insert(0x1000, mem.Base) // way 1
+	tl.FlushPage(0x0000)        // hole at way 0
+	tl.Insert(0x1000, mem.Base) // present in way 1: must not copy into the hole
+	tag, si := tl.tagOf(0x1000, mem.Base)
+	valid := 0
+	for _, e := range tl.sets[si] {
+		if e.valid && e.tag == tag {
+			valid++
+		}
+	}
+	if valid != 1 {
+		t.Fatalf("set holds %d valid entries for one tag, want 1", valid)
+	}
+	if got := tl.Stats().Insert4K; got != 2 {
+		t.Errorf("re-insert of a present entry counted: Insert4K = %d, want 2", got)
+	}
+	// The flush hole must still be free: a third entry fits without an
+	// eviction and every live tag keeps hitting.
+	tl.Insert(0x2000, mem.Base)
+	if ev := tl.Stats().Evictions; ev != 0 {
+		t.Errorf("Evictions = %d, want 0 (duplicate consumed the free way)", ev)
+	}
+	if !tl.Lookup(0x1000, mem.Base) || !tl.Lookup(0x2000, mem.Base) {
+		t.Error("entries missing after insert into flushed way")
+	}
+}
+
 func TestFlushPage(t *testing.T) {
 	tl := newSmall()
 	tl.Insert(0x1000, mem.Base)

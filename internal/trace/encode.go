@@ -44,7 +44,7 @@ func ReadEventsJSONL(r io.Reader) ([]Event, error) {
 // seriesHeader is the fixed CSV column order for sample series. The
 // per-order gauges are flattened as fmfi0..fmfiN / free_blocks0..N.
 func seriesHeader() []string {
-	h := []string{"tick", "phase", "vm"}
+	h := []string{"tick", "phase", "vm", "run"}
 	for o := 0; o < NumOrders; o++ {
 		h = append(h, "fmfi"+strconv.Itoa(o))
 	}
@@ -76,7 +76,7 @@ func WriteSeriesCSV(w io.Writer, samples []Sample) error {
 	for i := range samples {
 		s := &samples[i]
 		row = row[:0]
-		row = append(row, fu(s.Tick), s.Phase, fi(s.VM))
+		row = append(row, fu(s.Tick), s.Phase, fi(s.VM), fi(s.Run))
 		for o := 0; o < NumOrders; o++ {
 			row = append(row, ff(s.FMFI[o]))
 		}
@@ -186,6 +186,15 @@ func ReadSeriesCSV(r io.Reader) ([]Sample, error) {
 		s.Tick = u("tick")
 		s.Phase, _ = get("phase")
 		s.VM = n("vm")
+		// The run column is optional so series files recorded before
+		// shard tagging still decode (Run stays 0).
+		if i, ok := col["run"]; ok && i < len(rec) {
+			v, err := strconv.Atoi(rec[i])
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.Run = v
+		}
 		for o := 0; o < NumOrders; o++ {
 			s.FMFI[o] = f("fmfi" + strconv.Itoa(o))
 			s.FreeBlocks[o] = u("free_blocks" + strconv.Itoa(o))

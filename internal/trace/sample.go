@@ -13,6 +13,10 @@ type Sample struct {
 	Tick  uint64 `json:"tick"`
 	Phase string `json:"phase"`
 	VM    int    `json:"vm"` // -1 = host
+	// Run is the stable run tag stamped by Recorder.MergeShards — the
+	// grid index of the cell the row came from; zero for single-run
+	// recorders.
+	Run int `json:"run"`
 
 	// Allocator state.
 	FMFI       [NumOrders]float64 `json:"fmfi"`

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fillShard records a small deterministic stream into the shard for
+// run index i: a phase pair plus a few promote events and one sample.
+func fillShard(rec *Recorder, i int) {
+	rec.SetNow(uint64(10 * i))
+	rec.BeginPhase("measure")
+	for j := 0; j < 3; j++ {
+		rec.SetNow(uint64(10*i + j))
+		rec.Handle(0, "guest").Event(EvPromote, uint64(100*i+j), uint64(j), 9, 512, "threshold")
+	}
+	if rec.SampleTick(uint64(10*i + 3)) {
+		rec.AddSample(Sample{VM: 0, FreePages: uint64(i)})
+	}
+	rec.SetNow(uint64(10*i + 4))
+	rec.EndPhase("measure")
+}
+
+// encode renders a recorder's merged output to the same bytes the CLIs
+// write, so tests can compare whole files.
+func encode(t *testing.T, rec *Recorder) (jsonl, csv []byte) {
+	t.Helper()
+	var eb, sb bytes.Buffer
+	if err := WriteEventsJSONL(&eb, rec.Events()); err != nil {
+		t.Fatalf("WriteEventsJSONL: %v", err)
+	}
+	if err := WriteSeriesCSV(&sb, rec.Samples()); err != nil {
+		t.Fatalf("WriteSeriesCSV: %v", err)
+	}
+	return eb.Bytes(), sb.Bytes()
+}
+
+// TestMergeShardsOrderIndependent locks the tentpole contract: the
+// merged timeline depends only on the shards' run indices, never on
+// the order the shards were created or filled, so traced output is
+// byte-identical at any parallelism.
+func TestMergeShardsOrderIndependent(t *testing.T) {
+	const n = 5
+	build := func(order []int) (jsonl, csv []byte) {
+		parent := NewRecorder(Config{})
+		// Shards are registered in grid order up front, as runGrid does.
+		shards := make([]*Recorder, n)
+		for i := 0; i < n; i++ {
+			shards[i] = parent.Shard(i, fmt.Sprintf("cell-%d", i))
+		}
+		for _, i := range order {
+			fillShard(shards[i], i)
+		}
+		parent.MergeShards()
+		return encode(t, parent)
+	}
+	wantJSONL, wantCSV := build([]int{0, 1, 2, 3, 4})
+	gotJSONL, gotCSV := build([]int{3, 0, 4, 2, 1})
+	if !bytes.Equal(wantJSONL, gotJSONL) {
+		t.Errorf("merged JSONL differs with shard fill order:\n%s\nvs\n%s", wantJSONL, gotJSONL)
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Errorf("merged CSV differs with shard fill order:\n%s\nvs\n%s", wantCSV, gotCSV)
+	}
+	if len(wantJSONL) == 0 || len(wantCSV) == 0 {
+		t.Fatal("merged output is empty; the test recorded nothing")
+	}
+}
+
+// TestMergeShardsRunTagging checks that every merged event and sample
+// carries its shard's run index, and that each shard's stream opens
+// with a mark:<label> boundary event.
+func TestMergeShardsRunTagging(t *testing.T) {
+	parent := NewRecorder(Config{})
+	for i := 0; i < 3; i++ {
+		fillShard(parent.Shard(i, fmt.Sprintf("cell-%d", i)), i)
+	}
+	parent.MergeShards()
+
+	run, marks := -1, 0
+	for _, e := range parent.Events() {
+		if e.Type == EvPhaseStart && e.VM == -1 && len(e.Reason) > 5 && e.Reason[:5] == "mark:" {
+			marks++
+			if e.Run != run+1 {
+				t.Errorf("boundary %q has run %d, want %d", e.Reason, e.Run, run+1)
+			}
+			run = e.Run
+			if want := fmt.Sprintf("mark:cell-%d", run); e.Reason != want {
+				t.Errorf("boundary reason = %q, want %q", e.Reason, want)
+			}
+			continue
+		}
+		if e.Run != run {
+			t.Errorf("event %+v has run %d, want %d", e, e.Run, run)
+		}
+	}
+	if marks != 3 {
+		t.Errorf("merged stream has %d boundary marks, want 3", marks)
+	}
+	seen := map[int]int{}
+	for _, s := range parent.Samples() {
+		seen[s.Run]++
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Errorf("run %d has %d samples, want 1 (got %v)", i, seen[i], seen)
+		}
+	}
+}
+
+// TestShardIdempotent checks that asking for the same run index twice
+// returns the same child recorder instead of splitting its stream.
+func TestShardIdempotent(t *testing.T) {
+	parent := NewRecorder(Config{})
+	a := parent.Shard(7, "x")
+	b := parent.Shard(7, "x")
+	if a != b {
+		t.Fatal("Shard(7) returned two different recorders")
+	}
+	if c := parent.Shard(8, "y"); c == a {
+		t.Fatal("Shard(8) aliased Shard(7)")
+	}
+}
+
+// TestMergeShardsDropAccounting checks that ring overflow inside a
+// shard surfaces on the parent after the merge. Shards inherit the
+// parent's bounds: with EventCap 4 the shard drops 6 of its 10 events,
+// and the merge (1 mark + 4 retained events into the parent's own
+// 4-slot ring) drops one more, so the parent reports 7.
+func TestMergeShardsDropAccounting(t *testing.T) {
+	parent := NewRecorder(Config{EventCap: 4})
+	sh := parent.Shard(0, "lossy")
+	for i := 0; i < 10; i++ {
+		sh.SetNow(uint64(i))
+		sh.Handle(0, "guest").Event(EvPromote, uint64(i), 0, 9, 0, "x")
+	}
+	if sh.Dropped() != 6 {
+		t.Fatalf("shard Dropped = %d, want 6", sh.Dropped())
+	}
+	parent.MergeShards()
+	if parent.Dropped() != 7 {
+		t.Errorf("parent Dropped = %d after merge, want 7", parent.Dropped())
+	}
+}
+
+// TestShardConcurrentRecording exercises the documented concurrency
+// contract under the race detector: shards may be created and recorded
+// into from concurrent goroutines as long as each goroutine owns its
+// shard; the merge still yields every shard's data.
+func TestShardConcurrentRecording(t *testing.T) {
+	parent := NewRecorder(Config{})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fillShard(parent.Shard(i, fmt.Sprintf("cell-%d", i)), i)
+		}(i)
+	}
+	wg.Wait()
+	parent.MergeShards()
+	perRun := map[int]int{}
+	for _, e := range parent.Events() {
+		perRun[e.Run]++
+	}
+	for i := 0; i < n; i++ {
+		// mark + BeginPhase + 3 promotes + EndPhase = 6 events per run.
+		if perRun[i] != 6 {
+			t.Errorf("run %d has %d events, want 6", i, perRun[i])
+		}
+	}
+}

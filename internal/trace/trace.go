@@ -16,11 +16,22 @@
 // Recording is strictly opt-in and zero-cost when disabled: layers
 // hold a nil *Handle and guard every emission with a nil check, so a
 // run without a recorder constructs no event values at all.
+//
+// Concurrency contract: a Recorder is single-goroutine while it is
+// being recorded into, but it shards. Shard returns a private child
+// recorder (same bounds, own ring/series/tick clock) keyed by a
+// stable run index; concurrent runs each record into their own shard
+// and MergeShards later folds every shard into the parent in run
+// order. The merged stream is therefore independent of the order the
+// shards were filled in: a traced grid produces byte-identical output
+// at any parallelism.
 package trace
 
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // EventType identifies one kind of structured trace event.
@@ -110,12 +121,15 @@ func (t *EventType) UnmarshalJSON(b []byte) error {
 // emitting layer's input space (GVA for the guest layer, GPA for the
 // EPT layer); Frame is the corresponding output frame number (GFN for
 // guest, HFN for EPT). VM is -1 for host-scoped events such as phase
-// boundaries. Fields that do not apply to a given type are zero and
-// elided from JSONL output.
+// boundaries. Run is the stable run tag stamped by MergeShards — the
+// grid index of the cell the event came from — and stays zero for
+// single-run recorders. Fields that do not apply to a given type are
+// zero and elided from JSONL output.
 type Event struct {
 	Tick   uint64    `json:"tick"`
 	Type   EventType `json:"type"`
 	VM     int       `json:"vm"`
+	Run    int       `json:"run,omitempty"`
 	Layer  string    `json:"layer,omitempty"`
 	Addr   uint64    `json:"addr,omitempty"`
 	Frame  uint64    `json:"frame,omitempty"`
@@ -151,9 +165,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Recorder is the flight recorder for one simulation run (or one
-// sequential batch of runs sharing a trace). It is not safe for
-// concurrent use; traced runs execute sequentially.
+// Recorder is the flight recorder for one simulation run, or the
+// parent of a batch of runs recorded through shards. Recording into
+// one recorder is single-goroutine, but Shard/MergeShards are safe
+// for concurrent use, so parallel runs compose by giving each run its
+// own shard and merging after they all finish.
 type Recorder struct {
 	cfg   Config
 	now   uint64 // current simulated tick, set by the machine
@@ -172,6 +188,19 @@ type Recorder struct {
 	firstTick   uint64
 	haveSample  bool
 	lastSampled uint64
+
+	// Shard registry: child recorders keyed by stable run index,
+	// folded into this recorder by MergeShards. Guarded by mu so
+	// shards may be requested from concurrent workers.
+	mu     sync.Mutex
+	shards []*shard
+}
+
+// shard couples one child recorder with its stable run tag and label.
+type shard struct {
+	run   int
+	label string
+	rec   *Recorder
 }
 
 // NewRecorder builds a recorder with the given bounds.
@@ -212,6 +241,59 @@ func (r *Recorder) EndPhase(name string) {
 // when several runs share one recorder).
 func (r *Recorder) Mark(label string) {
 	r.push(Event{Tick: r.now, Type: EvPhaseStart, VM: -1, Reason: "mark:" + label})
+}
+
+// Shard returns the child recorder for the stable run index run,
+// creating it on first use (repeated calls with the same index return
+// the same child; the first label wins). A child shares the parent's
+// bounds but owns a private ring, series, and tick clock, so
+// concurrent runs may each record into their own shard with no
+// synchronization between them. Safe for concurrent use.
+func (r *Recorder) Shard(run int, label string) *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.shards {
+		if s.run == run {
+			return s.rec
+		}
+	}
+	child := NewRecorder(r.cfg)
+	r.shards = append(r.shards, &shard{run: run, label: label, rec: child})
+	return child
+}
+
+// MergeShards folds every shard into the parent in ascending run
+// order and clears the shard registry. Each shard contributes a
+// boundary Mark event ("mark:<label>") followed by its events and
+// samples, all stamped with the shard's run index. Because the order
+// is the run index — not the order the shards happened to finish in —
+// the merged stream is deterministic at any parallelism: a traced
+// grid at Parallel=8 merges to the same bytes as the same grid at
+// Parallel=1. The parent's ring still bounds the merged event stream
+// (oldest events drop, with accounting, as always); the merged series
+// is bounded by shards x MaxSamples rows. Shard drop counts are added
+// to the parent's. Call only after every shard is done recording.
+func (r *Recorder) MergeShards() {
+	r.mu.Lock()
+	shards := r.shards
+	r.shards = nil
+	r.mu.Unlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].run < shards[j].run })
+	for _, s := range shards {
+		r.push(Event{Tick: r.now, Type: EvPhaseStart, VM: -1, Run: s.run, Reason: "mark:" + s.label})
+		for _, e := range s.rec.Events() {
+			e.Run = s.run
+			r.push(e)
+		}
+		r.dropped += s.rec.dropped
+		for _, smp := range s.rec.Samples() {
+			smp.Run = s.run
+			r.samples = append(r.samples, smp)
+		}
+		if s.rec.every > r.every {
+			r.every = s.rec.every
+		}
+	}
 }
 
 // Handle returns the emission handle for one layer of one VM. VM -1

@@ -88,12 +88,41 @@ func TestNormalizeThroughput(t *testing.T) {
 		{System: "Host-B-VM-B", Workload: "w", Throughput: 10},
 		{System: "GEMINI", Workload: "w", Throughput: 17},
 	}
-	n := NormalizeThroughput(rows, "Host-B-VM-B")
+	n, err := NormalizeThroughput(rows, "Host-B-VM-B")
+	if err != nil {
+		t.Fatalf("NormalizeThroughput: %v", err)
+	}
 	if n["w"]["GEMINI"] != 1.7 {
 		t.Fatalf("normalized = %v", n)
 	}
 	if n["w"]["Host-B-VM-B"] != 1.0 {
 		t.Fatalf("baseline normalized = %v", n)
+	}
+}
+
+func TestNormalizeThroughputMissingBaseline(t *testing.T) {
+	rows := []Result{
+		{System: "GEMINI", Workload: "w", Throughput: 17},
+		{System: "THP", Workload: "w", Throughput: 12},
+	}
+	if _, err := NormalizeThroughput(rows, "Host-B-VM-B"); err == nil {
+		t.Fatal("want error when the baseline system is absent, got nil")
+	}
+}
+
+func TestNormalizeThroughputZeroBaseline(t *testing.T) {
+	rows := []Result{
+		{System: "Host-B-VM-B", Workload: "w", Throughput: 10},
+		{System: "Host-B-VM-B", Workload: "x", Throughput: 0},
+		{System: "GEMINI", Workload: "w", Throughput: 17},
+		{System: "GEMINI", Workload: "x", Throughput: 9},
+	}
+	_, err := NormalizeThroughput(rows, "Host-B-VM-B")
+	if err == nil {
+		t.Fatal("want error when a baseline throughput is zero, got nil")
+	}
+	if !containsStr(err.Error(), "x") {
+		t.Errorf("error should name the workload missing a baseline: %v", err)
 	}
 }
 
