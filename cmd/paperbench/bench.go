@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/hotbench"
+)
+
+// benchExport runs the hot-path suite count times and writes the
+// hotbench/v1 JSON report, optionally capturing a CPU profile of the
+// run (the artifact CI uploads so a regression comes with the profile
+// that explains it).
+func benchExport(path string, count int, profilePath string) {
+	if profilePath != "" {
+		f, err := os.Create(profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile to %s\n", profilePath)
+		}()
+	}
+	rep := hotbench.Run(count)
+	writeFile(path, func(f *os.File) error { return rep.WriteJSON(f) })
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-20s %12.1f ns/op (median of %d)\n", b.Name, b.MedianNs(), len(b.Samples))
+	}
+	fmt.Printf("wrote hot-path benchmark report to %s\n", path)
+}
+
+// benchFormat renders a hotbench JSON report as Go benchmark text on
+// stdout, the format benchstat diffs.
+func benchFormat(path string) {
+	rep := readBenchReport(path)
+	if err := rep.WriteGoBench(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// benchCompare gates a fresh report against the committed baseline:
+// "base.json,new.json" exits non-zero when new regresses past the
+// tolerance (time) or at all (allocs).
+func benchCompare(spec string, tol float64) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "-bench-compare wants BASE.json,NEW.json")
+		os.Exit(1)
+	}
+	base, cur := readBenchReport(parts[0]), readBenchReport(parts[1])
+	errs := hotbench.Compare(base, cur, tol)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "regression: %v\n", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("%s: no regressions vs %s (tolerance %.0f%%, allocs exact)\n",
+		parts[1], parts[0], tol*100)
+}
+
+func readBenchReport(path string) *hotbench.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rep, err := hotbench.ReadReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rep
+}

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageDocs is the doc lint CI runs: every package under
+// internal/ must carry a package doc comment that is substantial (not
+// a one-line stub) and points the reader at the relevant DESIGN.md
+// section, so godoc and the design document cannot drift apart
+// silently. New packages fail this test until they are documented.
+func TestInternalPackageDocs(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, dir := range dirs {
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			continue
+		}
+		checked++
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc string
+			for name, pkg := range pkgs {
+				if strings.HasSuffix(name, "_test") {
+					continue
+				}
+				for _, f := range pkg.Files {
+					if f.Doc != nil && f.Doc.Text() != "" {
+						if doc != "" {
+							t.Fatalf("package doc comment in more than one file")
+						}
+						doc = f.Doc.Text()
+					}
+				}
+			}
+			switch {
+			case doc == "":
+				t.Fatalf("no package doc comment")
+			case !strings.HasPrefix(doc, "Package "+filepath.Base(dir)):
+				t.Fatalf("package doc must start %q, got %q", "Package "+filepath.Base(dir), firstLine(doc))
+			case len(strings.Split(strings.TrimSpace(doc), "\n")) < 3:
+				t.Fatalf("package doc is a stub (%d lines); describe the package's role", len(strings.Split(strings.TrimSpace(doc), "\n")))
+			case !strings.Contains(doc, "DESIGN.md"):
+				t.Fatalf("package doc does not reference DESIGN.md; add a pointer to the relevant section")
+			}
+		})
+	}
+	if checked < 14 {
+		t.Fatalf("only %d internal packages found; the lint expects at least 14", checked)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -10,6 +10,9 @@
 //
 // The package is a leaf: it imports nothing from the repository, so
 // every substrate package can depend on it without cycles.
+//
+// See DESIGN.md §2 (system inventory) for where auditing sits in the
+// reproduction, and §5 for the determinism contract audits rely on.
 package audit
 
 import (

@@ -59,9 +59,9 @@ func freeSingleton(t *testing.T, a *Allocator) (even, odd uint64) {
 func TestAuditCatchesLeakedFrame(t *testing.T) {
 	a := mutatedAllocator(t)
 	f, _ := freeSingleton(t, a)
-	// Drop the free block from the free map without adjusting the
+	// Drop the free block from the free books without adjusting the
 	// counters: a frame leak.
-	delete(a.free, f)
+	a.freeOrd[f] = -1
 	expectViolations(t, a.CheckInvariants(),
 		"conservation", "free-count", "fmfi-recompute")
 }
@@ -78,9 +78,9 @@ func TestAuditCatchesDoubleReserve(t *testing.T) {
 	// the free lists: the frames are now owned twice.
 	var hi uint64
 	found := false
-	for start, o := range a.free {
-		if int(o) >= mem.HugeOrder {
-			hi = start / mem.PagesPerHuge
+	for start := range a.freeOrd {
+		if int(a.freeOrd[start]) >= mem.HugeOrder {
+			hi = uint64(start) / mem.PagesPerHuge
 			found = true
 			break
 		}
@@ -107,8 +107,8 @@ func TestAuditCatchesMisfiledFreeBlock(t *testing.T) {
 	even, odd := freeSingleton(t, a)
 	// Move the free block to the odd start and re-file it as order 1:
 	// a start not aligned for its order.
-	delete(a.free, even)
-	a.free[odd] = 1
+	a.freeOrd[even] = -1
+	a.freeOrd[odd] = 1
 	a.counts[0]--
 	a.counts[1]++
 	a.freePages++ // the order-1 claim covers one extra page

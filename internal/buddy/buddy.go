@@ -21,10 +21,13 @@
 // lowest-addressed free block of the requested order, which both keeps
 // runs reproducible and mimics the anti-fragmentation benefit of
 // packing small allocations low (§5, "Gemini contiguity list").
+//
+// See DESIGN.md §2 (system inventory) for the allocator's role and
+// DESIGN.md §7 (performance model) for the flat free-book layout the
+// hot path depends on.
 package buddy
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -51,18 +54,49 @@ var (
 
 // minHeap is a lazy min-heap of block start frames. Entries may be
 // stale (no longer free at this order); Allocator pops until it finds
-// a live one.
+// a live one. It is a hand-rolled heap over raw uint64s rather than a
+// container/heap implementation: heap.Push boxes every frame number
+// into an interface value, and the fault path pushes a block on every
+// allocation, so the boxing allocations and interface dispatch showed
+// up directly in access-latency profiles.
 type minHeap []uint64
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+func (h *minHeap) push(v uint64) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *minHeap) pop() uint64 {
+	s := *h
+	v := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && s[l] < s[small] {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
 	return v
 }
 
@@ -100,8 +134,13 @@ type Allocator struct {
 	totalPages uint64
 	freePages  uint64
 
-	// free maps block start frame -> order, for free blocks only.
-	free map[uint64]uint8
+	// freeOrd[f] is the order of the free block starting at frame f,
+	// or -1 when f does not start a free block. A flat array rather
+	// than a map: the buddy books are consulted on every fault-path
+	// allocation and free, and frame numbers are dense in
+	// [0, totalPages), so the array replaces hashing (and map growth)
+	// with one indexed byte load at a cost of one byte per frame.
+	freeOrd []int8
 	// heaps[o] holds candidate starts of free order-o blocks
 	// (lazily invalidated).
 	heaps [NumOrders]minHeap
@@ -113,18 +152,20 @@ type Allocator struct {
 
 	// epoch increments on every free-list mutation; FreeRegions
 	// results are cached against it.
-	epoch         uint64
-	regionsEpoch  uint64
-	regionsCache  []mem.Region
-	regionScratch []int8
+	epoch        uint64
+	regionsEpoch uint64
+	regionsCache []mem.Region
 }
 
 // New creates an allocator managing totalPages base frames, all free.
 func New(totalPages uint64) *Allocator {
 	a := &Allocator{
 		totalPages:   totalPages,
-		free:         make(map[uint64]uint8),
+		freeOrd:      make([]int8, totalPages),
 		reservations: make(map[uint64]*Reservation),
+	}
+	for i := range a.freeOrd {
+		a.freeOrd[i] = -1
 	}
 	// Seed free lists with the largest aligned blocks that fit.
 	frame := uint64(0)
@@ -161,16 +202,16 @@ func (a *Allocator) FreeBlockCount(order int) uint64 {
 
 // insertFree adds a free block and registers it in the heap.
 func (a *Allocator) insertFree(start uint64, order uint8) {
-	a.free[start] = order
+	a.freeOrd[start] = int8(order)
 	a.counts[order]++
 	a.epoch++
-	heap.Push(&a.heaps[order], start)
+	a.heaps[order].push(start)
 }
 
 // removeFree deletes a known-free block from the books. The heap entry
 // is left to lazy invalidation.
 func (a *Allocator) removeFree(start uint64, order uint8) {
-	delete(a.free, start)
+	a.freeOrd[start] = -1
 	a.counts[order]--
 	a.epoch++
 }
@@ -179,13 +220,13 @@ func (a *Allocator) removeFree(start uint64, order uint8) {
 // or false if none exists.
 func (a *Allocator) popLowest(order int) (uint64, bool) {
 	h := &a.heaps[order]
-	for h.Len() > 0 {
+	for len(*h) > 0 {
 		start := (*h)[0]
-		if o, ok := a.free[start]; ok && o == uint8(order) {
-			heap.Pop(h)
+		h.pop()
+		if a.freeOrd[start] == int8(order) {
 			return start, true
 		}
-		heap.Pop(h) // stale
+		// Stale entry: keep popping.
 	}
 	return 0, false
 }
@@ -219,8 +260,8 @@ func (a *Allocator) Alloc(order int) (uint64, error) {
 func (a *Allocator) findContaining(frame uint64, order int) (uint64, uint8, bool) {
 	for o := order; o <= MaxOrder; o++ {
 		start := frame &^ ((uint64(1) << o) - 1)
-		if fo, ok := a.free[start]; ok && fo == uint8(o) {
-			return start, fo, true
+		if start < a.totalPages && a.freeOrd[start] == int8(o) {
+			return start, uint8(o), true
 		}
 	}
 	return 0, 0, false
@@ -291,7 +332,7 @@ func (a *Allocator) FrameFree(frame uint64) bool {
 	}
 	for o := 0; o <= MaxOrder; o++ {
 		start := frame &^ ((uint64(1) << o) - 1)
-		if fo, ok := a.free[start]; ok && fo == uint8(o) {
+		if a.freeOrd[start] == int8(o) {
 			return true
 		}
 	}
@@ -322,7 +363,7 @@ func (a *Allocator) Free(frame uint64, order int) {
 			return
 		}
 	}
-	if _, ok := a.free[frame]; ok {
+	if a.freeOrd[frame] >= 0 {
 		panic(fmt.Sprintf("buddy: double free of block %#x", frame))
 	}
 	a.freePages += size
@@ -330,10 +371,10 @@ func (a *Allocator) Free(frame uint64, order int) {
 	start := frame
 	for int(o) < MaxOrder {
 		buddyStart := start ^ (uint64(1) << o)
-		bo, ok := a.free[buddyStart]
-		if !ok || bo != o || buddyStart+(uint64(1)<<o) > a.totalPages {
+		if buddyStart+(uint64(1)<<o) > a.totalPages || a.freeOrd[buddyStart] != int8(o) {
 			break
 		}
+		bo := o
 		// Merge with buddy.
 		a.removeFree(buddyStart, bo)
 		if buddyStart < start {
@@ -502,26 +543,17 @@ func (a *Allocator) FreeHugeCandidates() uint64 {
 //
 // The returned slice is a cache owned by the allocator, valid until
 // the next allocation or free; callers must not retain or mutate it.
-// Construction is a single O(TotalPages/blockSize) sweep over an order
-// map, avoiding any sort even with hundreds of thousands of free
+// Construction is a single O(TotalPages) sweep over the free-order
+// array, avoiding any sort even with hundreds of thousands of free
 // blocks (heavily fragmented memory).
 func (a *Allocator) FreeRegions() []mem.Region {
 	if a.regionsEpoch == a.epoch && a.regionsCache != nil {
 		return a.regionsCache
 	}
-	if a.regionScratch == nil {
-		a.regionScratch = make([]int8, a.totalPages)
-	}
-	for i := range a.regionScratch {
-		a.regionScratch[i] = -1
-	}
-	for s, o := range a.free {
-		a.regionScratch[s] = int8(o)
-	}
 	regions := a.regionsCache[:0]
 	var i uint64
 	for i < a.totalPages {
-		o := a.regionScratch[i]
+		o := a.freeOrd[i]
 		if o < 0 {
 			i++
 			continue
@@ -540,22 +572,6 @@ func (a *Allocator) FreeRegions() []mem.Region {
 		return nil
 	}
 	return regions
-}
-
-// sortUint64 sorts in place (small wrapper to keep imports minimal).
-func sortUint64(s []uint64) {
-	// Shell sort: adequate for cold-path sizes, zero allocations.
-	for gap := len(s) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(s); i++ {
-			v := s[i]
-			j := i
-			for j >= gap && s[j-gap] > v {
-				s[j] = s[j-gap]
-				j -= gap
-			}
-			s[j] = v
-		}
-	}
 }
 
 // auditLayer labels buddy violations in audit reports.
@@ -579,8 +595,12 @@ func (a *Allocator) CheckInvariants() []audit.Violation {
 	var sum uint64
 	var counts [NumOrders]uint64
 	type span struct{ start, end uint64 }
-	spans := make([]span, 0, len(a.free))
-	for start, o := range a.free {
+	var spans []span
+	for s := range a.freeOrd {
+		if a.freeOrd[s] < 0 {
+			continue
+		}
+		start, o := uint64(s), uint8(a.freeOrd[s])
 		size := uint64(1) << o
 		if int(o) > MaxOrder {
 			vs = append(vs, audit.Violationf(auditLayer, "block-order", start,
@@ -612,23 +632,15 @@ func (a *Allocator) CheckInvariants() []audit.Violation {
 				o, counts[o], a.counts[o]))
 		}
 	}
-	// Disjointness of free blocks.
-	ss := make([]uint64, len(spans))
-	for i, sp := range spans {
-		ss[i] = sp.start
-	}
-	sortUint64(ss)
-	starts := make(map[uint64]uint64, len(spans))
-	for _, sp := range spans {
-		starts[sp.start] = sp.end
-	}
+	// Disjointness of free blocks (spans come out of the array sweep
+	// already sorted by start).
 	var prevEnd uint64
-	for _, s := range ss {
-		if s < prevEnd {
-			vs = append(vs, audit.Violationf(auditLayer, "block-overlap", s,
+	for _, sp := range spans {
+		if sp.start < prevEnd {
+			vs = append(vs, audit.Violationf(auditLayer, "block-overlap", sp.start,
 				"free block overlaps the preceding block ending at %#x", prevEnd))
 		}
-		prevEnd = starts[s]
+		prevEnd = sp.end
 	}
 	// Heap reachability: every live free block must appear in its
 	// order's heap (stale extra entries are fine, missing ones are not
@@ -641,9 +653,9 @@ func (a *Allocator) CheckInvariants() []audit.Violation {
 		for _, s := range a.heaps[o] {
 			inHeap[s] = true
 		}
-		for start, fo := range a.free {
-			if int(fo) == o && !inHeap[start] {
-				vs = append(vs, audit.Violationf(auditLayer, "heap-membership", start,
+		for s := range a.freeOrd {
+			if int(a.freeOrd[s]) == o && !inHeap[uint64(s)] {
+				vs = append(vs, audit.Violationf(auditLayer, "heap-membership", uint64(s),
 					"free order-%d block missing from its allocation heap", o))
 			}
 		}
@@ -685,7 +697,7 @@ func (a *Allocator) CheckInvariants() []audit.Violation {
 	// drift here means a future fast path desynced counts from blocks.
 	if a.freePages > 0 {
 		var usable uint64
-		for _, o := range a.free {
+		for _, o := range a.freeOrd {
 			if int(o) >= mem.HugeOrder {
 				usable += uint64(1) << o
 			}

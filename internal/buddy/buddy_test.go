@@ -415,13 +415,18 @@ func TestRandomOpsInvariant(t *testing.T) {
 	}
 }
 
-func TestSortUint64(t *testing.T) {
-	s := []uint64{5, 3, 9, 1, 1, 0, 7}
-	sortUint64(s)
-	for i := 1; i < len(s); i++ {
-		if s[i-1] > s[i] {
-			t.Fatalf("not sorted: %v", s)
+func TestMinHeapOrdering(t *testing.T) {
+	var h minHeap
+	for _, v := range []uint64{5, 3, 9, 1, 1, 0, 7} {
+		h.push(v)
+	}
+	var prev uint64
+	for i := 0; len(h) > 0; i++ {
+		v := h.pop()
+		if i > 0 && v < prev {
+			t.Fatalf("heap popped %d after %d", v, prev)
 		}
+		prev = v
 	}
 }
 

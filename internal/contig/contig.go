@@ -11,6 +11,9 @@
 // description). When no region fits an entire VMA, the largest free
 // region is chosen and the caller falls back to the sub-VMA mechanism
 // for the remainder.
+//
+// See DESIGN.md §2 (system inventory, "Gemini contiguity list") for
+// how this feeds the coordinated policy in package core.
 package contig
 
 import (

@@ -29,6 +29,9 @@
 //
 // Use New to create the coordinated guest/host policy pair for one VM,
 // then Attach after machine.AddVM.
+//
+// See DESIGN.md §2 (system inventory, "Gemini core") for the design
+// and DESIGN.md §3 for the experiments it is evaluated in.
 package core
 
 import (

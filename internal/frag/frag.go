@@ -9,6 +9,9 @@
 // random subset, leaving free memory shattered into small blocks. The
 // retained pages are returned to the caller so they can be freed later
 // (or held for the lifetime of an experiment).
+//
+// See DESIGN.md §2 (system inventory, "fragmenter") and §6.2 of the
+// paper for the fragmentation methodology this models.
 package frag
 
 import (

@@ -1,0 +1,108 @@
+package hotbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// BenchmarkHotpath runs the per-layer suite as ordinary sub-benchmarks:
+//
+//	go test -run '^$' -bench Hotpath -count 10 ./internal/hotbench
+//
+// The same cases back paperbench -bench-export, so numbers gathered
+// either way are comparable by name.
+func BenchmarkHotpath(b *testing.B) {
+	for _, c := range Suite() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
+// BenchmarkAccessSteadyState is the named benchmark the hot-path code
+// comments point at: the full cached access path, required to run at
+// 0 allocs/op.
+func BenchmarkAccessSteadyState(b *testing.B) {
+	ByName("AccessSteadyState").Bench(b)
+}
+
+// TestAccessSteadyStateZeroAllocs pins the hot path's allocation-free
+// invariant (DESIGN.md §7): once a workload reaches steady state,
+// accesses — walk-cache hits, occasional conflict-miss refills, TLB
+// bookkeeping, heat updates — allocate nothing. Guarded here with
+// AllocsPerRun so any future map lookup, interface conversion, or
+// slice growth on the hot path fails fast, not just slows benchmarks.
+func TestAccessSteadyStateZeroAllocs(t *testing.T) {
+	_, _, w := steadyVM(16)
+	// One settle pass so AllocsPerRun's own warm-up iteration cannot
+	// hit a lingering cold page.
+	for i := 0; i < 2000; i++ {
+		w.StepOne()
+	}
+	if n := testing.AllocsPerRun(5000, func() { w.StepOne() }); n != 0 {
+		t.Fatalf("steady-state access allocated %v allocs/run, want 0", n)
+	}
+}
+
+// TestReportRoundTrip locks the BENCH_hotpath.json wire format: a
+// report survives encode/decode and renders benchstat-compatible
+// lines.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: ReportSchema, GoVersion: "goX", GOARCH: "arch", Count: 2,
+		Benchmarks: []Result{{
+			Name: "TLBLookup",
+			Samples: []Sample{
+				{Iterations: 100, NsPerOp: 10.5, BytesPerOp: 0, AllocsPerOp: 0},
+				{Iterations: 120, NsPerOp: 11.5},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].MedianNs() != 11.0 {
+		t.Fatalf("median = %v, want 11.0", got.Benchmarks[0].MedianNs())
+	}
+	var txt bytes.Buffer
+	if err := got.WriteGoBench(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "BenchmarkHotpath/TLBLookup 100 10.50 ns/op 0 B/op 0 allocs/op") {
+		t.Fatalf("bad benchstat rendering:\n%s", txt.String())
+	}
+}
+
+// TestCompareGates locks the CI gate semantics: >tol time regressions
+// and any alloc increase fail; improvements and within-tolerance
+// noise pass; a dropped benchmark fails.
+func TestCompareGates(t *testing.T) {
+	mk := func(name string, ns float64, allocs int64) Result {
+		return Result{Name: name, Samples: []Sample{{Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}}}
+	}
+	base := &Report{Schema: ReportSchema, Benchmarks: []Result{
+		mk("A", 100, 0), mk("B", 100, 5), mk("C", 100, 0),
+	}}
+	cur := &Report{Schema: ReportSchema, Benchmarks: []Result{
+		mk("A", 109, 0), // +9%: within 10% tolerance
+		mk("B", 90, 6),  // faster but one more alloc: fails
+		// C dropped: fails
+	}}
+	errs := Compare(base, cur, 0.10)
+	if len(errs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(errs), errs)
+	}
+	for _, err := range errs {
+		s := err.Error()
+		if !strings.Contains(s, "B:") && !strings.Contains(s, "C:") {
+			t.Fatalf("unexpected violation: %v", err)
+		}
+	}
+	if errs := Compare(base, base, 0.10); len(errs) != 0 {
+		t.Fatalf("self-compare must pass, got %v", errs)
+	}
+}

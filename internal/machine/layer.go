@@ -9,6 +9,10 @@
 // Page-size decisions are delegated to a per-layer Policy, the
 // extension point where Linux THP, Ingens, HawkEye, CA-paging,
 // Translation-ranger, and Gemini plug in.
+//
+// See DESIGN.md §2 (system inventory) for the machine model and
+// DESIGN.md §7 (performance model) for the allocation-free access
+// hot path and its walk cache (walkcache.go).
 package machine
 
 import (
@@ -117,9 +121,16 @@ type Layer struct {
 	// Stats accumulates event counts.
 	Stats LayerStats
 
-	heat    map[uint64]uint64 // hugeIdx(input space) -> decayed access count
-	deduped map[uint64]bool   // vpn -> was deduplicated (refault pays CoW)
-	stall   uint64            // pending foreground stall cycles
+	// heat holds decayed access counts indexed by 2 MiB input region
+	// (va >> HugeShift). It is a flat grow-on-demand slice rather than
+	// a map because RecordAccess runs once per simulated access at each
+	// layer — the hottest write in the simulator — and map hashing
+	// dominated its cost. Region indices are small and dense: the EPT
+	// input space is guest physical memory, and guest VMA placement is
+	// a bump pointer, so the slice stays compact.
+	heat    []uint64
+	deduped map[uint64]bool // vpn -> was deduplicated (refault pays CoW)
+	stall   uint64          // pending foreground stall cycles
 	// compactCursor round-robins kcompactd's scan over frame regions.
 	compactCursor uint64
 }
@@ -136,7 +147,6 @@ func NewLayer(name string, alloc *buddy.Allocator, space *AddressSpace, pol Poli
 		Space:   space,
 		Policy:  pol,
 		Costs:   costs,
-		heat:    make(map[uint64]uint64),
 		deduped: make(map[uint64]bool),
 	}
 }
@@ -169,20 +179,36 @@ func (L *Layer) TakeStallQuantum() uint64 {
 
 // RecordAccess bumps the heat of the 2 MiB input region containing va.
 func (L *Layer) RecordAccess(va uint64) {
-	L.heat[va>>mem.HugeShift]++
+	L.heatBump(va >> mem.HugeShift)
+}
+
+// heatBump increments the heat counter for one region index, growing
+// the slice on first touch of a new high region. The growth branch is
+// cold: once a region index is in bounds it stays in bounds, so the
+// steady-state cost is one bounds check and one increment.
+func (L *Layer) heatBump(idx uint64) {
+	if idx >= uint64(len(L.heat)) {
+		grown := make([]uint64, idx+idx/4+64)
+		copy(grown, L.heat)
+		L.heat = grown
+	}
+	L.heat[idx]++
 }
 
 // Heat returns the decayed access count of the region containing va.
-func (L *Layer) Heat(va uint64) uint64 { return L.heat[va>>mem.HugeShift] }
+func (L *Layer) Heat(va uint64) uint64 {
+	idx := va >> mem.HugeShift
+	if idx >= uint64(len(L.heat)) {
+		return 0
+	}
+	return L.heat[idx]
+}
 
-// DecayHeat halves all heat counters, dropping cold entries.
+// DecayHeat halves all heat counters.
 func (L *Layer) DecayHeat() {
-	for k, v := range L.heat {
-		v >>= 1
-		if v == 0 {
-			delete(L.heat, k)
-		} else {
-			L.heat[k] = v
+	for i, v := range L.heat {
+		if v != 0 {
+			L.heat[i] = v >> 1
 		}
 	}
 }
@@ -259,7 +285,9 @@ func (L *Layer) EnsureMapped(va uint64) (uint64, bool) {
 	L.Stats.Faults++
 	cycles += L.Costs.FaultBase
 	vpn := va >> mem.PageShift
-	if L.deduped[vpn] {
+	// len guard: deduped is empty except under HawkEye, and the map
+	// probe was measurable on the fault path.
+	if len(L.deduped) != 0 && L.deduped[vpn] {
 		delete(L.deduped, vpn)
 		L.Stats.CoWRefaults++
 		cycles += L.Costs.CoWFault

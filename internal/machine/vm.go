@@ -25,6 +25,11 @@ type VM struct {
 
 	guestPages uint64
 	costs      CostModel
+	// wc is the software walk cache accelerating Access; see
+	// walkcache.go. A zero wc (nil entries) means disabled.
+	wc walkCache
+	// wcArena is the pooled backing store of wc.entries.
+	wcArena *wcArena
 }
 
 // GuestPages returns the VM's guest physical memory size in frames.
@@ -93,6 +98,7 @@ func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg 
 	// virtual region. (EPT-layer changes leave stale-but-correct
 	// base-grain entries to age out, as discussed in the TLB package.)
 	vm.Guest.FlushRegion = vm.TLB.FlushHugeRegion
+	vm.wcInit()
 	m.VMs = append(m.VMs, vm)
 	return vm
 }
@@ -100,7 +106,40 @@ func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg 
 // Access performs one guest memory access at gva, faulting in both
 // layers as needed, and returns the cycles consumed (faults, page
 // walk or TLB hit, and any pending shootdown stalls).
+//
+// The steady-state path — both layers mapped, no destructive mutation
+// since the translation was last resolved — is served from the walk
+// cache without touching either page table and without allocating
+// (pinned by BenchmarkAccessSteadyState); it performs exactly the
+// simulated work of the reference path below, so results are identical
+// with the cache on or off.
 func (vm *VM) Access(gva uint64) uint64 {
+	if vm.wc.entries != nil {
+		vm.wcRevalidate()
+		ent := &vm.wc.entries[(gva>>mem.PageShift)&(walkCacheSize-1)]
+		if ent.epoch == vm.wc.epoch && ent.tag == gva>>mem.PageShift {
+			// Heat indices are derived, not cached: the guest index is
+			// gva's 2 MiB region and the EPT index is gpa's, where
+			// gpa >> HugeShift == gfn >> (HugeShift - PageShift).
+			vm.Guest.heatBump(gva >> mem.HugeShift)
+			vm.EPT.heatBump(ent.gfn >> (mem.HugeShift - mem.PageShift))
+			ent.gRef.Mark()
+			ent.eRef.Mark()
+			gpa := ent.gfn*mem.PageSize + (gva & (mem.PageSize - 1))
+			res := vm.TLB.AccessNested(gva, ent.eff, ent.gKind, ent.hKind, gpa)
+			return res.Cycles + vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
+		}
+		cycles := vm.accessUncached(gva)
+		vm.wcFill(gva)
+		return cycles
+	}
+	return vm.accessUncached(gva)
+}
+
+// accessUncached is the reference access path: demand-fault both
+// layers, walk both tables, and charge the TLB access. The walk cache
+// replays precisely this sequence of simulated work on a hit.
+func (vm *VM) accessUncached(gva uint64) uint64 {
 	var cycles uint64
 	c, _ := vm.Guest.EnsureMapped(gva)
 	cycles += c
@@ -140,6 +179,18 @@ func (vm *VM) Touch(gva uint64) {
 	vm.Guest.EnsureMapped(gva)
 	gfn, _, _ := vm.Guest.Table.Lookup(gva)
 	vm.EPT.EnsureMapped(gfn * mem.PageSize)
+}
+
+// ReleaseCaches returns every VM's walk-cache arena to the shared
+// pool. Call it when a machine's measured work is done (the sim
+// engines do, once per run): sweeps that build machines back to back
+// then reuse the arenas instead of growing the heap by one entry
+// array per VM. The machine stays fully usable afterwards — accesses
+// just take the uncached reference path, with identical results.
+func (m *Machine) ReleaseCaches() {
+	for _, vm := range m.VMs {
+		vm.wcRelease()
+	}
 }
 
 // CompactionLowWatermark is the free-block level below which each

@@ -7,6 +7,9 @@
 // All addresses are byte addresses; all frame numbers count 4 KiB
 // frames. A "huge frame number" (the index of a 2 MiB-aligned region)
 // is a frame number divided by PagesPerHuge.
+//
+// See DESIGN.md §2 (system inventory) for the address-space model
+// shared by every layer.
 package mem
 
 import "fmt"

@@ -3,6 +3,9 @@
 // control loops (Gemini's booking-timeout adjustment consumes windowed
 // TLB-miss and fragmentation readings), and a fixed-resolution latency
 // histogram good enough for mean and high-percentile reporting.
+//
+// See DESIGN.md §4 (fidelity targets) for which metrics each figure
+// reports.
 package metrics
 
 import (

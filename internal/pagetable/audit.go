@@ -26,7 +26,7 @@ const auditLayer = "pagetable"
 func (t *Table) CheckInvariants() []audit.Violation {
 	var vs []audit.Violation
 	var n4k, n2m uint64
-	baseFrames := make(map[uint64]uint64, len(t.reverse)) // frame -> va
+	baseFrames := make(map[uint64]uint64, t.mapped4K) // frame -> va
 	hugeBlocks := make(map[uint64]uint64)                 // frame block -> va
 	t.auditNode(t.root, 0, numLevels-1, &vs, &n4k, &n2m, baseFrames, hugeBlocks)
 
@@ -48,7 +48,7 @@ func (t *Table) CheckInvariants() []audit.Violation {
 	}
 	// rmap exact inverse of the forward base mappings.
 	for f, va := range baseFrames {
-		rva, ok := t.reverse[f]
+		rva, ok := t.ReverseLookup(f)
 		if !ok {
 			vs = append(vs, audit.Violationf(auditLayer, "rmap-inverse", f,
 				"base mapping %#x -> frame %#x has no reverse entry", va, f))
@@ -57,10 +57,16 @@ func (t *Table) CheckInvariants() []audit.Violation {
 				"reverse entry says %#x, forward mapping says %#x", rva, va))
 		}
 	}
-	for f, rva := range t.reverse {
-		if _, ok := baseFrames[f]; !ok {
-			vs = append(vs, audit.Violationf(auditLayer, "rmap-inverse", f,
-				"reverse entry -> %#x has no live base mapping", rva))
+	for hi, c := range t.reverse {
+		for i, v := range c {
+			if v == 0 {
+				continue
+			}
+			f := hi<<revChunkBits | uint64(i)
+			if _, ok := baseFrames[f]; !ok {
+				vs = append(vs, audit.Violationf(auditLayer, "rmap-inverse", f,
+					"reverse entry -> %#x has no live base mapping", v-1))
+			}
 		}
 	}
 	return vs

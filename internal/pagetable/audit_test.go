@@ -44,13 +44,13 @@ func populatedTable(t *testing.T) *Table {
 
 func TestAuditCatchesRmapDesync(t *testing.T) {
 	tb := populatedTable(t)
-	delete(tb.reverse, 103) // forward mapping keeps frame 103; rmap forgets it
+	tb.reverseClear(103) // forward mapping keeps frame 103; rmap forgets it
 	expectViolations(t, tb.CheckInvariants(), "rmap-inverse")
 }
 
 func TestAuditCatchesStaleRmapEntry(t *testing.T) {
 	tb := populatedTable(t)
-	tb.reverse[9999] = 77 * mem.PageSize // no base mapping uses frame 9999
+	tb.reverseSet(9999, 77*mem.PageSize) // no base mapping uses frame 9999
 	expectViolations(t, tb.CheckInvariants(), "rmap-inverse")
 }
 

@@ -17,6 +17,10 @@
 //
 // Addresses are uint64 byte addresses within a 48-bit space, as on
 // x86-64 with four 9-bit index levels below the page offset.
+//
+// See DESIGN.md §7 (performance model) for the version counter that
+// invalidates machine-level walk caches, the AccessRef fast path for
+// accessed-bit updates, and the chunked reverse map.
 package pagetable
 
 import (
@@ -77,20 +81,74 @@ type Table struct {
 	root     *node
 	mapped4K uint64
 	mapped2M uint64
+	// version counts destructive mutations: operations that remove or
+	// change an existing translation (Unmap4K, Unmap2M, Collapse,
+	// Split, Remap4K). Pure additions (Map4K, Map2M) do not bump it,
+	// because they cannot affect any translation that already resolved.
+	// Software walk caches key their validity off this counter; see
+	// DESIGN.md §7 (performance model).
+	version uint64
 	// reverse maps output frame -> input VA for base mappings, the
-	// "movable page" lookup memory compaction needs.
-	reverse map[uint64]uint64
+	// "movable page" lookup memory compaction needs. It is chunked:
+	// a small map from frame/revChunkSize to flat per-chunk arrays of
+	// va+1 (0 = no entry). Fault-path mapping mutations update it once
+	// per fault, and a flat per-frame map grew hot there purely from
+	// hashing and incremental rehash; the chunk map stays tiny (one
+	// entry per 4096 frames), so each update is one small-map probe
+	// plus an indexed store, while sparse frame ranges (exercised by
+	// the fuzzers) cost one 32 KiB chunk per touched window instead of
+	// an impossible frame-indexed flat array.
+	reverse map[uint64]*revChunk
 }
+
+// revChunkBits sizes reverse-map chunks: 2^12 frames (16 MiB of
+// mapped memory) per chunk.
+const revChunkBits = 12
+
+// revChunk holds va+1 per frame within one chunk; 0 marks no entry
+// (VA 0 is legitimate — the EPT input space starts at guest physical
+// address 0 — hence the +1 bias).
+type revChunk [1 << revChunkBits]uint64
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{root: &node{}, reverse: make(map[uint64]uint64)}
+	return &Table{root: &node{}, reverse: make(map[uint64]*revChunk)}
 }
+
+// Version returns the destructive-mutation counter. Any translation
+// resolved before the counter changed may since have been unmapped,
+// resized, or remapped; translations cached while it is unchanged are
+// guaranteed still valid.
+func (t *Table) Version() uint64 { return t.version }
 
 // ReverseLookup returns the VA whose base mapping points at the frame.
 func (t *Table) ReverseLookup(frame uint64) (uint64, bool) {
-	va, ok := t.reverse[frame]
-	return va, ok
+	c := t.reverse[frame>>revChunkBits]
+	if c == nil {
+		return 0, false
+	}
+	v := c[frame&(1<<revChunkBits-1)]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// reverseSet records frame -> va.
+func (t *Table) reverseSet(frame, va uint64) {
+	c := t.reverse[frame>>revChunkBits]
+	if c == nil {
+		c = new(revChunk)
+		t.reverse[frame>>revChunkBits] = c
+	}
+	c[frame&(1<<revChunkBits-1)] = va + 1
+}
+
+// reverseClear removes the frame's reverse entry if present.
+func (t *Table) reverseClear(frame uint64) {
+	if c := t.reverse[frame>>revChunkBits]; c != nil {
+		c[frame&(1<<revChunkBits-1)] = 0
+	}
 }
 
 // Mapped4K returns the number of live 4 KiB mappings.
@@ -149,7 +207,7 @@ func (t *Table) Map4K(va uint64, frame uint64) error {
 	pte.frame[idx] = frame
 	pte.live++
 	t.mapped4K++
-	t.reverse[frame] = va &^ (mem.PageSize - 1)
+	t.reverseSet(frame, va&^(mem.PageSize-1))
 	return nil
 }
 
@@ -208,6 +266,51 @@ func (t *Table) Lookup(va uint64) (frame uint64, kind mem.PageSizeKind, ok bool)
 		return 0, mem.Base, false
 	}
 	return n.frame[idx], mem.Base, true
+}
+
+// AccessRef is a stable reference to one base PTE's accessed bit,
+// letting a caller that already walked to the leaf set the bit again
+// without re-walking the radix tree. A reference is only meaningful
+// while Version() is unchanged from the LookupRef that produced it:
+// any destructive mutation may have detached the node it points into.
+// The zero AccessRef (returned for huge mappings, whose translated
+// accesses do not set a base-PTE bit) is a valid no-op.
+type AccessRef struct {
+	bits *[entriesPerNode]bool
+	idx  int32
+}
+
+// Mark sets the referenced accessed bit; no-op for the zero ref.
+func (r AccessRef) Mark() {
+	if r.bits != nil {
+		r.bits[r.idx] = true
+	}
+}
+
+// LookupRef translates va like Lookup and additionally returns an
+// AccessRef for the mapping's accessed bit (the zero ref for huge
+// mappings, matching MarkAccessed's no-op on them). The ref is valid
+// until the table's Version changes.
+func (t *Table) LookupRef(va uint64) (frame uint64, kind mem.PageSizeKind, ref AccessRef, ok bool) {
+	n := t.root
+	for level := numLevels - 1; level >= 1; level-- {
+		idx := index(va, level)
+		if level == hugeLevel && n.present[idx] && n.huge[idx] {
+			base := n.frame[idx]
+			offsetPages := va >> mem.PageShift & (mem.PagesPerHuge - 1)
+			return base + offsetPages, mem.Huge, AccessRef{}, true
+		}
+		child := n.children[idx]
+		if child == nil {
+			return 0, mem.Base, AccessRef{}, false
+		}
+		n = child
+	}
+	idx := index(va, 0)
+	if !n.present[idx] {
+		return 0, mem.Base, AccessRef{}, false
+	}
+	return n.frame[idx], mem.Base, AccessRef{bits: &n.accessed, idx: int32(idx)}, true
 }
 
 // MarkAccessed sets the accessed bit of the base mapping for the page
@@ -274,7 +377,8 @@ func (t *Table) Unmap4K(va uint64) (uint64, error) {
 	pte.frame[idx] = 0
 	pte.live--
 	t.mapped4K--
-	delete(t.reverse, frame)
+	t.version++
+	t.reverseClear(frame)
 	return frame, nil
 }
 
@@ -296,6 +400,7 @@ func (t *Table) Unmap2M(va uint64) (uint64, error) {
 	pmd.frame[idx] = 0
 	pmd.live--
 	t.mapped2M--
+	t.version++
 	return frame, nil
 }
 
@@ -372,8 +477,9 @@ func (t *Table) Collapse(va uint64) error {
 	// live: child pointer replaced by leaf -> net 0 change for pmd.
 	t.mapped4K -= mem.PagesPerHuge
 	t.mapped2M++
+	t.version++
 	for i := uint64(0); i < mem.PagesPerHuge; i++ {
-		delete(t.reverse, info.Frame+i)
+		t.reverseClear(info.Frame + i)
 	}
 	return nil
 }
@@ -394,8 +500,9 @@ func (t *Table) Remap4K(va uint64, newFrame uint64) (uint64, error) {
 	}
 	old := pte.frame[idx]
 	pte.frame[idx] = newFrame
-	delete(t.reverse, old)
-	t.reverse[newFrame] = va &^ (mem.PageSize - 1)
+	t.version++
+	t.reverseClear(old)
+	t.reverseSet(newFrame, va&^(mem.PageSize-1))
 	return old, nil
 }
 
@@ -416,7 +523,7 @@ func (t *Table) Split(va uint64) error {
 	for i := 0; i < entriesPerNode; i++ {
 		pt.present[i] = true
 		pt.frame[i] = base + uint64(i)
-		t.reverse[base+uint64(i)] = hva + uint64(i)*mem.PageSize
+		t.reverseSet(base+uint64(i), hva+uint64(i)*mem.PageSize)
 	}
 	pt.live = entriesPerNode
 	pmd.present[idx] = false
@@ -425,6 +532,7 @@ func (t *Table) Split(va uint64) error {
 	pmd.children[idx] = pt
 	t.mapped2M--
 	t.mapped4K += mem.PagesPerHuge
+	t.version++
 	return nil
 }
 

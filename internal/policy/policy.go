@@ -15,6 +15,9 @@
 // Policies at the two layers run uncoordinated, which is precisely the
 // huge page misalignment problem the paper identifies; Gemini (package
 // core) is the coordinated alternative.
+//
+// See DESIGN.md §2 (system inventory, "competing systems") for each
+// policy's paper provenance and parameters.
 package policy
 
 import (

@@ -294,6 +294,9 @@ func (e *Engine) Run() []Result {
 	e.phased("measure", e.measurePhase)
 	e.finalSample()
 	e.rec.audit() // completion audit: the final state must be consistent
+	// The run's hot work is over; hand the walk-cache arenas back so
+	// sweeps building many engines back to back reuse them.
+	e.m.ReleaseCaches()
 	return e.results()
 }
 
@@ -363,7 +366,7 @@ func (e *Engine) predecessorPhase() {
 		spec.FootprintMB = ev.cfg.GuestMemMB * 2 / 5
 		w := workload.New(spec, ev.vm, e.predecessorSeed(i))
 		for j := 0; j < e.cfg.Requests/4; j++ {
-			w.Step(1)
+			w.StepOne()
 			if j%e.cfg.RequestsPerTick == 0 {
 				e.rec.tick(e.m)
 			}
@@ -387,7 +390,7 @@ func (e *Engine) warmupPhase() {
 	}
 	for i := 0; i < e.cfg.WarmupRequests; i++ {
 		for _, ev := range e.vms {
-			ev.w.Step(1)
+			ev.w.StepOne()
 		}
 		if i%e.cfg.RequestsPerTick == 0 {
 			e.rec.tick(e.m)
@@ -414,12 +417,15 @@ func (e *Engine) measurePhase() {
 	}
 	for i := 0; i < e.cfg.Requests; i++ {
 		for _, ev := range e.vms {
-			st := ev.w.Step(1)
-			ev.fg += st.Cycles
-			ev.ops += st.Ops
+			// One request per VM per iteration, via the allocation-free
+			// StepOne (Step(1) would build a StepStats with a Latencies
+			// slice for every request).
+			c := ev.w.StepOne()
+			ev.fg += c
+			ev.ops++
 			ev.acc += uint64(ev.cfg.Workload.RequestPages)
-			for _, l := range st.Latencies {
-				ev.lat.Record(l)
+			if ev.cfg.Workload.LatencySensitive {
+				ev.lat.Record(float64(c))
 			}
 		}
 		if i%e.cfg.RequestsPerTick == 0 {

@@ -73,16 +73,16 @@ func RunMicro(mc MicroConfig) MicroResult {
 	w := workload.New(spec, vm, mc.Seed+1)
 	// Warm the TLB on the steady-state mappings.
 	for i := 0; i < mc.Accesses/4/spec.RequestPages; i++ {
-		w.Step(1)
+		w.StepOne()
 	}
 	vm.TLB.ResetStats()
 	var cycles, accesses uint64
 	for accesses < uint64(mc.Accesses) {
-		st := w.Step(1)
-		cycles += st.Cycles
+		cycles += w.StepOne()
 		accesses += uint64(spec.RequestPages)
 	}
 	ts := vm.TLB.Stats()
+	m.ReleaseCaches()
 	return MicroResult{
 		Label:           MicroLabel(mc.GuestHuge, mc.HostHuge),
 		DatasetMB:       mc.DatasetMB,

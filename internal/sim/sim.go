@@ -7,6 +7,9 @@
 // All settings execute on the unified N-VM Engine (engine.go); Run,
 // RunColocated, and RunMany translate their configurations into an
 // EngineConfig and delegate.
+//
+// See DESIGN.md §3 (per-experiment index) for which entry point backs
+// each figure and DESIGN.md §5 for the determinism contract.
 package sim
 
 import (

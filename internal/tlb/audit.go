@@ -13,39 +13,41 @@ const auditLayer = "tlb"
 // returning false stops the walk. The VA is reconstructed from the
 // tag, which stores the full page number above the kind bit.
 func (t *TLB) VisitEntries(fn func(va uint64, kind mem.PageSizeKind) bool) {
-	for _, set := range t.sets {
-		for _, e := range set {
-			if !e.valid {
-				continue
-			}
-			pn := e.tag >> 1
-			va := pn << mem.PageShift
-			if e.kind == mem.Huge {
-				va = pn << mem.HugeShift
-			}
-			if !fn(va, e.kind) {
-				return
-			}
+	for _, e := range t.ways {
+		if !e.valid() {
+			continue
+		}
+		pn := e.tag >> 1
+		va := pn << mem.PageShift
+		if e.kind() == mem.Huge {
+			va = pn << mem.HugeShift
+		}
+		if !fn(va, e.kind()) {
+			return
 		}
 	}
 }
 
 // CheckInvariants validates the TLB's internal geometry: every valid
-// entry's tag encodes its kind in the low bit, lives in the set its
-// page number selects, and appears at most once per set. Coherence
-// against the owning page table is a cross-layer property checked by
-// the machine auditor, which has both structures in hand.
+// entry lives in the set its page number selects, appears at most once
+// per set, and carries a live LRU stamp (empty ways alone may hold
+// lru 0 — the victim-selection scans depend on it). The entry kind
+// cannot desync from the tag since it is stored only in the tag's low
+// bit. Coherence against the owning page table is a cross-layer
+// property checked by the machine auditor, which has both structures
+// in hand.
 func (t *TLB) CheckInvariants() []audit.Violation {
 	var vs []audit.Violation
-	for si, set := range t.sets {
+	for si := 0; si < t.cfg.Sets; si++ {
+		set := t.set(si)
 		seen := make(map[uint64]bool, len(set))
 		for _, e := range set {
-			if !e.valid {
+			if !e.valid() {
 				continue
 			}
-			if got := mem.PageSizeKind(e.tag & 1); got != e.kind {
-				vs = append(vs, audit.Violationf(auditLayer, "tag-kind", e.tag,
-					"tag kind bit %v disagrees with entry kind %v", got, e.kind))
+			if e.lru == 0 {
+				vs = append(vs, audit.Violationf(auditLayer, "zero-lru", e.tag,
+					"live entry carries lru 0, reserved for empty ways"))
 			}
 			pn := e.tag >> 1
 			if want := int(pn % uint64(t.cfg.Sets)); want != si {

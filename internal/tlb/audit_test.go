@@ -60,36 +60,34 @@ func TestAuditCatchesWrongSetEntry(t *testing.T) {
 	tl := populatedTLB(t)
 	// Teleport a valid entry into a set its page number does not
 	// select.
-	src := &tl.sets[0][0]
-	if !src.valid {
+	src := &tl.set(0)[0]
+	if !src.valid() {
 		t.Fatal("expected a valid entry in set 0")
 	}
-	tl.sets[1][0] = *src
-	src.valid = false
+	tl.set(1)[0] = *src
+	*src = entry{tag: invalidTag}
 	expectViolations(t, tl.CheckInvariants(), "set-index")
 }
 
-func TestAuditCatchesKindBitFlip(t *testing.T) {
+func TestAuditCatchesZeroLRU(t *testing.T) {
 	tl := populatedTLB(t)
-	e := &tl.sets[0][0]
-	if !e.valid {
+	e := &tl.set(0)[0]
+	if !e.valid() {
 		t.Fatal("expected a valid entry in set 0")
 	}
-	e.kind ^= 1
-	// Flipping the kind without the tag desyncs the low bit, and the
-	// reinterpreted page number usually selects a different set.
-	vs := tl.CheckInvariants()
-	if !audit.Has(vs, "tag-kind") {
-		t.Errorf("auditor missed tag-kind; got:\n%s", audit.Report(vs))
-	}
+	// A live entry with lru 0 masquerades as an empty way to the
+	// victim-selection scans: it would be evicted first despite being
+	// recently used.
+	e.lru = 0
+	expectViolations(t, tl.CheckInvariants(), "zero-lru")
 }
 
 func TestAuditCatchesDuplicateTag(t *testing.T) {
 	tl := populatedTLB(t)
-	set := tl.sets[0]
+	set := tl.set(0)
 	var src *entry
 	for i := range set {
-		if set[i].valid {
+		if set[i].valid() {
 			src = &set[i]
 			break
 		}
@@ -98,7 +96,7 @@ func TestAuditCatchesDuplicateTag(t *testing.T) {
 		t.Fatal("expected a valid entry in set 0")
 	}
 	for i := range set {
-		if !set[i].valid {
+		if !set[i].valid() {
 			set[i] = *src
 			break
 		}

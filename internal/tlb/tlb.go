@@ -18,6 +18,9 @@
 // virtual region) shortcut the upper levels, which is why huge pages
 // also reduce walk latency: their leaf entries sit one level higher
 // and are covered by the walk caches far more often.
+//
+// See DESIGN.md §7 (performance model) for the packed 16-byte entry
+// layout and the fused probe-insert the access paths use.
 package tlb
 
 import (
@@ -81,19 +84,38 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
-// entry is one TLB entry. Tag is the page number (4 KiB granule) for
-// base entries or the huge-region index for huge entries.
+// entry is one TLB entry, packed into 16 bytes so an 8-way set scan —
+// performed once per simulated access — touches two cache lines
+// instead of three. The tag encodes the page number (4 KiB granule for
+// base entries, huge-region index for huge entries) above the kind bit
+// (see tagOf); there are no separate kind or valid fields. An empty
+// way holds invalidTag, which no real tag can equal, so the probe loop
+// needs no validity test, and its zero lru makes empty ways the
+// preferred eviction victims without a separate first-invalid scan.
 type entry struct {
-	tag   uint64
-	kind  mem.PageSizeKind
-	valid bool
-	lru   uint64 // larger = more recently used
+	tag uint64
+	lru uint64 // larger = more recently used; 0 only for empty ways
 }
+
+// invalidTag marks an empty way. Real tags are pn<<1|kind with pn a
+// 52-bit page number at most, so they can never collide with it.
+const invalidTag = ^uint64(0)
+
+// valid reports whether the way holds a live translation.
+func (e *entry) valid() bool { return e.tag != invalidTag }
+
+// kind returns the entry kind encoded in the tag's low bit.
+func (e *entry) kind() mem.PageSizeKind { return mem.PageSizeKind(e.tag & 1) }
 
 // TLB is a unified set-associative translation lookaside buffer.
 type TLB struct {
-	cfg   Config
-	sets  [][]entry
+	cfg Config
+	// ways holds every entry in one flat array, set i occupying
+	// ways[i*cfg.Ways : (i+1)*cfg.Ways]. A flat layout keeps a set scan
+	// — the operation every simulated access performs at least once —
+	// to a single bounds-checked subslice with no per-set pointer
+	// chase.
+	ways  []entry
 	clock uint64
 	stats Stats
 
@@ -108,10 +130,6 @@ func New(cfg Config) *TLB {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("tlb: bad geometry %dx%d", cfg.Sets, cfg.Ways))
 	}
-	sets := make([][]entry, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]entry, cfg.Ways)
-	}
 	pwcSize := cfg.PWCEntries
 	if pwcSize <= 0 {
 		pwcSize = 1
@@ -122,7 +140,16 @@ func New(cfg Config) *TLB {
 		g[i] = ^uint64(0)
 		h[i] = ^uint64(0)
 	}
-	return &TLB{cfg: cfg, sets: sets, pwcGuest: g, pwcHost: h}
+	ways := make([]entry, cfg.Sets*cfg.Ways)
+	for i := range ways {
+		ways[i].tag = invalidTag
+	}
+	return &TLB{cfg: cfg, ways: ways, pwcGuest: g, pwcHost: h}
+}
+
+// set returns the ways of set si as a subslice of the flat array.
+func (t *TLB) set(si int) []entry {
+	return t.ways[si*t.cfg.Ways : (si+1)*t.cfg.Ways]
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -151,9 +178,9 @@ func (t *TLB) tagOf(va uint64, kind mem.PageSizeKind) (tag uint64, set int) {
 // Lookup probes the TLB for a translation of va at the given kind.
 func (t *TLB) Lookup(va uint64, kind mem.PageSizeKind) bool {
 	tag, si := t.tagOf(va, kind)
-	set := t.sets[si]
+	set := t.set(si)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].tag == tag {
 			t.clock++
 			set[i].lru = t.clock
 			return true
@@ -169,28 +196,25 @@ func (t *TLB) Lookup(va uint64, kind mem.PageSizeKind) bool {
 // by FlushPage ahead of the resident way cannot shadow it.
 func (t *TLB) Insert(va uint64, kind mem.PageSizeKind) {
 	tag, si := t.tagOf(va, kind)
-	set := t.sets[si]
+	set := t.set(si)
 	t.clock++
+	victim := 0
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].tag == tag {
 			set[i].lru = t.clock
 			return
 		}
-	}
-	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if victim < 0 || set[i].lru < set[victim].lru {
+		if set[i].lru < set[victim].lru {
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	// Empty ways carry lru 0, below every live entry's lru, so the
+	// strict-minimum scan lands on the first empty way when one exists
+	// and on the LRU way otherwise.
+	if set[victim].valid() {
 		t.stats.Evictions++
 	}
-	set[victim] = entry{tag: tag, kind: kind, valid: true, lru: t.clock}
+	set[victim] = entry{tag: tag, lru: t.clock}
 	if kind == mem.Huge {
 		t.stats.Insert2M++
 	} else {
@@ -203,10 +227,10 @@ func (t *TLB) Insert(va uint64, kind mem.PageSizeKind) {
 func (t *TLB) FlushPage(va uint64) {
 	for _, kind := range []mem.PageSizeKind{mem.Base, mem.Huge} {
 		tag, si := t.tagOf(va, kind)
-		set := t.sets[si]
+		set := t.set(si)
 		for i := range set {
-			if set[i].valid && set[i].tag == tag {
-				set[i].valid = false
+			if set[i].tag == tag {
+				set[i] = entry{tag: invalidTag}
 				t.stats.Flushes++
 			}
 		}
@@ -220,20 +244,20 @@ func (t *TLB) FlushHugeRegion(va uint64) {
 	base := va &^ uint64(mem.HugeSize-1)
 	for _, kind := range []mem.PageSizeKind{mem.Huge} {
 		tag, si := t.tagOf(base, kind)
-		set := t.sets[si]
+		set := t.set(si)
 		for i := range set {
-			if set[i].valid && set[i].tag == tag {
-				set[i].valid = false
+			if set[i].tag == tag {
+				set[i] = entry{tag: invalidTag}
 				t.stats.Flushes++
 			}
 		}
 	}
 	for p := uint64(0); p < mem.PagesPerHuge; p++ {
 		tag, si := t.tagOf(base+p*mem.PageSize, mem.Base)
-		set := t.sets[si]
+		set := t.set(si)
 		for i := range set {
-			if set[i].valid && set[i].tag == tag {
-				set[i].valid = false
+			if set[i].tag == tag {
+				set[i] = entry{tag: invalidTag}
 				t.stats.Flushes++
 			}
 		}
@@ -242,12 +266,10 @@ func (t *TLB) FlushHugeRegion(va uint64) {
 
 // FlushAll empties the TLB and both walk caches (full shootdown).
 func (t *TLB) FlushAll() {
-	for si := range t.sets {
-		for i := range t.sets[si] {
-			if t.sets[si][i].valid {
-				t.sets[si][i].valid = false
-				t.stats.Flushes++
-			}
+	for i := range t.ways {
+		if t.ways[i].valid() {
+			t.ways[i] = entry{tag: invalidTag}
+			t.stats.Flushes++
 		}
 	}
 	for i := range t.pwcGuest {
@@ -313,6 +335,41 @@ func (t *TLB) NestedWalkRefs(va uint64, gKind mem.PageSizeKind, gpa uint64, hKin
 	return gSteps*(hSteps+1) + hSteps
 }
 
+// probeInsert performs the TLB-array side of one access in a single
+// set scan: probe for (va, kind) and, on a miss, install it. It is
+// observably identical to Lookup followed (on a miss) by Insert — one
+// clock advance either way, the same refresh-in-place rule, the same
+// first-invalid-else-LRU victim, the same stats — but pays one pass
+// over the set where the unfused pair pays up to three. Hit/miss
+// counters stay with the callers, which also charge walk costs.
+func (t *TLB) probeInsert(va uint64, kind mem.PageSizeKind) bool {
+	tag, si := t.tagOf(va, kind)
+	set := t.set(si)
+	t.clock++
+	victim := 0
+	for i := range set {
+		if set[i].tag == tag {
+			set[i].lru = t.clock
+			return true
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	// As in Insert: empty ways (lru 0) win the strict-minimum scan
+	// over any live way, reproducing first-invalid-else-LRU selection.
+	if set[victim].valid() {
+		t.stats.Evictions++
+	}
+	set[victim] = entry{tag: tag, lru: t.clock}
+	if kind == mem.Huge {
+		t.stats.Insert2M++
+	} else {
+		t.stats.Insert4K++
+	}
+	return false
+}
+
 // AccessResult describes the outcome of one translated memory access.
 type AccessResult struct {
 	Cycles uint64
@@ -324,7 +381,7 @@ type AccessResult struct {
 // miss charge a one-dimensional walk and install an entry of the
 // mapping kind.
 func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
-	if t.Lookup(va, kind) {
+	if t.probeInsert(va, kind) {
 		t.stats.Hits++
 		return AccessResult{Cycles: t.cfg.HitCycles}
 	}
@@ -339,7 +396,6 @@ func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
 	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
 	t.stats.WalkRefs += uint64(refs)
 	t.stats.WalkCycles += cycles
-	t.Insert(va, kind)
 	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
 }
 
@@ -349,7 +405,7 @@ func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
 // boundary; Base otherwise. gKind and hKind are the actual per-layer
 // mapping kinds, which determine walk length on a miss.
 func (t *TLB) AccessNested(va uint64, effKind, gKind, hKind mem.PageSizeKind, gpa uint64) AccessResult {
-	if t.Lookup(va, effKind) {
+	if t.probeInsert(va, effKind) {
 		t.stats.Hits++
 		return AccessResult{Cycles: t.cfg.HitCycles}
 	}
@@ -364,6 +420,5 @@ func (t *TLB) AccessNested(va uint64, effKind, gKind, hKind mem.PageSizeKind, gp
 	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
 	t.stats.WalkRefs += uint64(refs)
 	t.stats.WalkCycles += cycles
-	t.Insert(va, effKind)
 	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
 }

@@ -107,8 +107,8 @@ func TestInsertAfterFlushNoDuplicate(t *testing.T) {
 	tl.Insert(0x1000, mem.Base) // present in way 1: must not copy into the hole
 	tag, si := tl.tagOf(0x1000, mem.Base)
 	valid := 0
-	for _, e := range tl.sets[si] {
-		if e.valid && e.tag == tag {
+	for _, e := range tl.set(si) {
+		if e.tag == tag {
 			valid++
 		}
 	}

@@ -25,6 +25,9 @@
 // order. The merged stream is therefore independent of the order the
 // shards were filled in: a traced grid produces byte-identical output
 // at any parallelism.
+//
+// See DESIGN.md §2 (system inventory, "flight recorder") and §5 for
+// how tracing preserves run determinism.
 package trace
 
 import (

@@ -15,6 +15,10 @@
 //     non-sensitive pair, §6.5).
 //
 // Generators are deterministic for a given seed.
+//
+// See DESIGN.md §2 (system inventory, "workload models") for the
+// modelling axes and DESIGN.md §7 for the precomputed access streams
+// the hot path consumes.
 package workload
 
 import (
@@ -271,6 +275,11 @@ type Workload struct {
 	touched    uint64 // pages faulted so far (gradual growth frontier)
 	seqCursor  uint64
 	totalPages uint64
+	// addrs is the precomputed page-index -> guest-VA table: addrs[p]
+	// == addrOf(p). It removes two integer divisions from every access
+	// (the hottest workload-side operation) at the cost of one rebuild
+	// per VMA churn event, which is orders of magnitude rarer.
+	addrs []uint64
 }
 
 // New binds a spec to a VM and performs setup: VMAs are created and,
@@ -295,6 +304,7 @@ func New(spec Spec, vm *machine.VM, seed int64) *Workload {
 		off := uint64(w.rng.Intn(mem.PagesPerHuge))
 		w.vmas = append(w.vmas, vm.Guest.Space.MMap(w.vmaPages*mem.PageSize, off))
 	}
+	w.rebuildAddrs()
 	w.zipf = rand.NewZipf(w.rng, 1.1, 64, w.totalPages-1)
 	if w.Style == Static {
 		w.populate()
@@ -318,10 +328,23 @@ func (w *Workload) growTo(n uint64) {
 	}
 }
 
-// addrOf maps a footprint page index to a guest virtual address.
+// addrOf maps a footprint page index to a guest virtual address via
+// the precomputed table (see rebuildAddrs).
 func (w *Workload) addrOf(page uint64) uint64 {
-	v := w.vmas[page/w.vmaPages%uint64(len(w.vmas))]
-	return v.Start + (page%w.vmaPages)*mem.PageSize
+	return w.addrs[page]
+}
+
+// rebuildAddrs recomputes the page-index -> VA table from the current
+// VMA placements: page p lives in VMA (p / vmaPages) mod len(vmas) at
+// offset (p mod vmaPages) pages.
+func (w *Workload) rebuildAddrs() {
+	if w.addrs == nil {
+		w.addrs = make([]uint64, w.totalPages)
+	}
+	for page := uint64(0); page < w.totalPages; page++ {
+		v := w.vmas[page/w.vmaPages%uint64(len(w.vmas))]
+		w.addrs[page] = v.Start + (page%w.vmaPages)*mem.PageSize
+	}
 }
 
 // nextPage draws a page index from the access distribution, confined
@@ -355,11 +378,35 @@ func (w *Workload) churn() {
 	w.vm.Guest.UnmapVMA(old)
 	off := uint64(w.rng.Intn(mem.PagesPerHuge))
 	w.vmas[i] = w.vm.Guest.Space.MMap(w.vmaPages*mem.PageSize, off)
+	w.rebuildAddrs()
 	// Repopulate the replacement up to the frontier share.
 	share := w.touched / uint64(len(w.vmas))
 	for p := uint64(0); p < share && p < w.vmaPages; p++ {
 		w.vm.Access(w.vmas[i].Start + p*mem.PageSize)
 	}
+}
+
+// StepOne runs a single request — RequestPages accesses plus the
+// gradual-growth/churn bookkeeping — and returns its cycle cost. This
+// is the allocation-free per-request entry point the simulation engine
+// drives (Step's StepStats forces a Latencies slice per call); the RNG
+// consumption is identical to one iteration of Step.
+func (w *Workload) StepOne() uint64 {
+	reqCycles := w.ServiceCycles
+	for a := 0; a < w.RequestPages; a++ {
+		page := w.nextPage()
+		reqCycles += w.vm.Access(w.addrs[page])
+	}
+	if w.Style == Gradual {
+		// Grow ~one page per request until the footprint is full.
+		if w.touched < w.totalPages {
+			w.growTo(w.touched + 2)
+		}
+		if w.ChurnRate > 0 && w.rng.Float64() < w.ChurnRate/100 {
+			w.churn()
+		}
+	}
+	return reqCycles
 }
 
 // Step runs the given number of requests and reports their cost.
@@ -369,24 +416,11 @@ func (w *Workload) Step(requests int) StepStats {
 		st.Latencies = make([]float64, 0, requests)
 	}
 	for r := 0; r < requests; r++ {
-		var reqCycles uint64 = w.ServiceCycles
-		for a := 0; a < w.RequestPages; a++ {
-			page := w.nextPage()
-			reqCycles += w.vm.Access(w.addrOf(page))
-		}
+		reqCycles := w.StepOne()
 		st.Ops++
 		st.Cycles += reqCycles
 		if w.LatencySensitive {
 			st.Latencies = append(st.Latencies, float64(reqCycles))
-		}
-		if w.Style == Gradual {
-			// Grow ~one page per request until the footprint is full.
-			if w.touched < w.totalPages {
-				w.growTo(w.touched + 2)
-			}
-			if w.ChurnRate > 0 && w.rng.Float64() < w.ChurnRate/100 {
-				w.churn()
-			}
 		}
 	}
 	return st
