@@ -92,6 +92,53 @@ func MicroCell(res MicroResult) BenchCell {
 	}
 }
 
+// FleetCells flattens one fleet run into metric cells: a fleet-wide
+// cell (workload "fleet", VM 0) followed by one cell per host
+// (workload "host", VM = host id), all labelled with the placement
+// policy as the setting. The per-host FMFI and huge-page coverage
+// cells are the fleet-level series the paper's fragmentation story is
+// about, surfaced per figure-cell in the JSON artifact.
+func FleetCells(res FleetResult) []BenchCell {
+	cells := []BenchCell{{
+		System:   res.System,
+		Workload: "fleet",
+		Setting:  res.Policy,
+		Metrics: map[string]float64{
+			"hosts":          float64(res.Hosts),
+			"arrivals":       float64(res.Arrivals),
+			"placed":         float64(res.Placed),
+			"rejected":       float64(res.Rejected),
+			"departed":       float64(res.Departed),
+			"migrations":     float64(res.Migrations),
+			"resident_vms":   float64(res.ResidentVMs),
+			"migrated_pages": float64(res.MigratedPages),
+			"requests":       float64(res.Requests),
+			"throughput":     res.Throughput,
+			"mean_host_fmfi": res.MeanHostFMFI,
+			"huge_coverage":  res.HugeCoverage,
+		},
+	}}
+	for _, h := range res.PerHost {
+		cells = append(cells, BenchCell{
+			System:   res.System,
+			Workload: "host",
+			Setting:  res.Policy,
+			VM:       h.Host,
+			Metrics: map[string]float64{
+				"vms":           float64(h.VMs),
+				"used_cpu":      float64(h.UsedCPU),
+				"used_ram_mb":   float64(h.UsedRAMMB),
+				"free_pages":    float64(h.FreePages),
+				"fmfi":          h.FMFI,
+				"huge_coverage": h.HugeCoverage,
+				"pages_in":      float64(h.PagesIn),
+				"pages_out":     float64(h.PagesOut),
+			},
+		})
+	}
+	return cells
+}
+
 // Validate checks the report's structural contract: the expected
 // schema, at least one figure, every figure named and non-empty, every
 // cell carrying a system label and only finite metric values. CI runs

@@ -108,3 +108,16 @@ func Has(vs []Violation, invariant string) bool {
 	}
 	return false
 }
+
+// Count returns how many violations of the named invariant vs holds.
+// Mutation self-tests use it to assert a deliberate corruption is
+// caught by exactly the invariant that owns it.
+func Count(vs []Violation, invariant string) int {
+	n := 0
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			n++
+		}
+	}
+	return n
+}

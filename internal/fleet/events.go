@@ -1,0 +1,200 @@
+package fleet
+
+// Deterministic VM churn: a seeded event stream of arrivals and
+// departures. Inter-arrival gaps and lifetimes are exponentially
+// distributed and sizes are drawn from a weighted flavor table, so a
+// fleet run sees the arrival process of a public cloud in miniature —
+// but two runs with the same seed see byte-identical streams, because
+// the whole stream is materialised up front from one private RNG with
+// a fixed draw order per arrival (gap, lifetime, flavor).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Flavor is one VM size class: the capacity it reserves from the
+// placement scheduler (CPU x RAM) and the application model it runs.
+type Flavor struct {
+	// Name labels the flavor in traces and reports.
+	Name string
+	// CPU is the reserved vCPU count.
+	CPU int
+	// RAMMB is the reserved guest memory in MiB (also the VM's guest
+	// physical memory size).
+	RAMMB int
+	// Workload is the application model; its footprint must fit RAMMB.
+	Workload workload.Spec
+	// Weight is the flavor's relative draw frequency.
+	Weight int
+}
+
+// Demand returns the capacity vector this flavor reserves.
+func (fl Flavor) Demand() Demand { return Demand{CPU: fl.CPU, RAMMB: fl.RAMMB} }
+
+// GuestPages returns the flavor's guest physical memory in base pages.
+func (fl Flavor) GuestPages() uint64 { return uint64(fl.RAMMB) << 20 >> mem.PageShift }
+
+// DefaultFlavors is the default size mix: many small cache nodes, some
+// medium churning stores (the Redis allocation pattern that fragments
+// memory, §6.2 of the paper), and occasional large static-footprint
+// compute VMs.
+func DefaultFlavors() []Flavor {
+	small := workload.Memcached()
+	small.FootprintMB = 48
+	medium := workload.Redis()
+	medium.FootprintMB = 96
+	large := workload.Canneal()
+	large.FootprintMB = 192
+	return []Flavor{
+		{Name: "small", CPU: 1, RAMMB: 128, Workload: small, Weight: 5},
+		{Name: "medium", CPU: 2, RAMMB: 256, Workload: medium, Weight: 3},
+		{Name: "large", CPU: 4, RAMMB: 512, Workload: large, Weight: 1},
+	}
+}
+
+// EventKind says whether a stream event starts or ends a VM.
+type EventKind uint8
+
+const (
+	// Depart ends a VM's life. It sorts before Arrive at equal ticks so
+	// capacity frees before same-tick arrivals are placed.
+	Depart EventKind = iota
+	// Arrive starts a VM's life.
+	Arrive
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == Depart {
+		return "depart"
+	}
+	return "arrive"
+}
+
+// Event is one stream element: VM vm arrives with a flavor, or
+// departs. Every arrival has a matching departure later in the stream.
+type Event struct {
+	// Tick is the fleet tick the event fires on (>= 1).
+	Tick uint64
+	// Kind is arrive or depart.
+	Kind EventKind
+	// VM is the fleet-wide VM id (the arrival index).
+	VM int
+	// Flavor is the VM's size class (set on both ends of the life).
+	Flavor Flavor
+}
+
+// StreamConfig parameterises the churn generator.
+type StreamConfig struct {
+	// Arrivals is how many VMs arrive over the stream (default 64).
+	Arrivals int
+	// MeanInterarrival is the mean gap between arrivals in fleet ticks
+	// (default 8).
+	MeanInterarrival float64
+	// MeanLifetime is the mean VM lifetime in fleet ticks (default 160).
+	MeanLifetime float64
+	// Flavors is the weighted size mix (default DefaultFlavors).
+	Flavors []Flavor
+	// Seed drives the stream RNG. Zero lets the fleet derive it from
+	// its own seed.
+	Seed int64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Arrivals == 0 {
+		c.Arrivals = 64
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 8
+	}
+	if c.MeanLifetime == 0 {
+		c.MeanLifetime = 160
+	}
+	if c.Flavors == nil {
+		c.Flavors = DefaultFlavors()
+	}
+	return c
+}
+
+// Validate reports whether the stream configuration is generatable.
+func (c StreamConfig) Validate() error {
+	d := c.withDefaults()
+	if d.Arrivals < 0 {
+		return fmt.Errorf("fleet: negative arrival count %d", d.Arrivals)
+	}
+	if d.MeanInterarrival < 0 || d.MeanLifetime < 0 {
+		return fmt.Errorf("fleet: negative stream means (%v, %v)", d.MeanInterarrival, d.MeanLifetime)
+	}
+	if len(d.Flavors) == 0 {
+		return fmt.Errorf("fleet: stream needs at least one flavor")
+	}
+	for _, fl := range d.Flavors {
+		if fl.CPU < 1 || fl.RAMMB < 1 {
+			return fmt.Errorf("fleet: flavor %q demand %+v not positive", fl.Name, fl.Demand())
+		}
+		if fl.Weight < 1 {
+			return fmt.Errorf("fleet: flavor %q weight %d < 1", fl.Name, fl.Weight)
+		}
+		if fl.Workload.Name == "" || fl.Workload.FootprintMB <= 0 || fl.Workload.RequestPages <= 0 {
+			return fmt.Errorf("fleet: flavor %q workload underspecified", fl.Name)
+		}
+		if fl.Workload.FootprintMB > fl.RAMMB {
+			return fmt.Errorf("fleet: flavor %q footprint %d MB exceeds guest memory %d MB",
+				fl.Name, fl.Workload.FootprintMB, fl.RAMMB)
+		}
+	}
+	return nil
+}
+
+// GenerateStream materialises the whole churn stream for a
+// configuration: Arrivals arrive/depart pairs, sorted by tick with
+// departures before arrivals at equal ticks (capacity frees before
+// same-tick placements) and VM id breaking remaining ties. The
+// generator draws gap, lifetime, then flavor for each arrival in that
+// fixed order, so the stream is a pure function of the configuration.
+func GenerateStream(cfg StreamConfig) []Event {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	totalWeight := 0
+	for _, fl := range cfg.Flavors {
+		totalWeight += fl.Weight
+	}
+	events := make([]Event, 0, 2*cfg.Arrivals)
+	now := 0.0
+	for vm := 0; vm < cfg.Arrivals; vm++ {
+		now += rng.ExpFloat64() * cfg.MeanInterarrival
+		at := uint64(now) + 1
+		life := uint64(rng.ExpFloat64()*cfg.MeanLifetime) + 1
+		pick := rng.Intn(totalWeight)
+		var fl Flavor
+		for _, cand := range cfg.Flavors {
+			if pick < cand.Weight {
+				fl = cand
+				break
+			}
+			pick -= cand.Weight
+		}
+		events = append(events,
+			Event{Tick: at, Kind: Arrive, VM: vm, Flavor: fl},
+			Event{Tick: at + life, Kind: Depart, VM: vm, Flavor: fl})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind // Depart before Arrive
+		}
+		return a.VM < b.VM
+	})
+	return events
+}

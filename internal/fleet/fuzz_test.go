@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+)
+
+// FuzzPlacement fuzzes the pure placement scheduler over generated
+// churn streams: fleet shape, stream shape, and policy all come from
+// the fuzz input. The properties checked after every event:
+//
+//   - no host's committed load ever exceeds its capacity vector;
+//   - an accepted VM is placed exactly once, on a host that had room,
+//     and rejection happens exactly when no host did;
+//   - a departure frees exactly what the arrival reserved (checked via
+//     the recompute audit and the all-zero end state);
+//   - the incremental bookkeeping always matches a from-scratch
+//     recompute (CheckInvariants is empty).
+func FuzzPlacement(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(24), uint8(0), uint8(2), uint8(30))
+	f.Add(int64(42), uint8(1), uint8(8), uint8(1), uint8(1), uint8(4))
+	f.Add(int64(7), uint8(8), uint8(60), uint8(2), uint8(3), uint8(90))
+	f.Add(int64(-5), uint8(2), uint8(0), uint8(5), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, hostsB, arrivalsB, polB, gapB, lifeB uint8) {
+		hosts := int(hostsB%8) + 1
+		arrivals := int(arrivalsB%48) + 1
+		pol := Policies()[int(polB)%len(Policies())]
+		stream := GenerateStream(StreamConfig{
+			Arrivals:         arrivals,
+			MeanInterarrival: float64(gapB%16) + 0.5,
+			MeanLifetime:     float64(lifeB%128) + 0.5,
+			Seed:             seed,
+		})
+
+		caps := testCaps(hosts, 8, 768)
+		s := NewScheduler(pol, caps)
+		accepted := make(map[int]bool)
+		arrived := make(map[int]bool)
+		for _, ev := range stream {
+			switch ev.Kind {
+			case Arrive:
+				if arrived[ev.VM] {
+					t.Fatalf("stream arrives VM %d twice", ev.VM)
+				}
+				arrived[ev.VM] = true
+				d := ev.Flavor.Demand()
+				feasible := false
+				for _, h := range s.Hosts() {
+					if h.Fits(d) {
+						feasible = true
+						break
+					}
+				}
+				host, ok := s.Place(ev.VM, d, nil)
+				if ok != feasible {
+					t.Fatalf("policy %s accepted=%v, feasible=%v for %+v", pol.Name(), ok, feasible, d)
+				}
+				if ok {
+					if host < 0 || host >= hosts {
+						t.Fatalf("placed on host %d of %d", host, hosts)
+					}
+					p, found := s.Lookup(ev.VM)
+					if !found || p.Host != host || p.D != d {
+						t.Fatalf("placement record %+v (found=%v) disagrees with decision host %d", p, found, host)
+					}
+				}
+				accepted[ev.VM] = ok
+			case Depart:
+				p, ok := s.Release(ev.VM)
+				if ok != accepted[ev.VM] {
+					t.Fatalf("release ok=%v but accepted=%v for VM %d", ok, accepted[ev.VM], ev.VM)
+				}
+				if ok && p.D != ev.Flavor.Demand() {
+					t.Fatalf("VM %d freed %+v but reserved %+v", ev.VM, p.D, ev.Flavor.Demand())
+				}
+			}
+			for i, h := range s.Hosts() {
+				if h.Used.CPU > h.Cap.CPU || h.Used.RAMMB > h.Cap.RAMMB {
+					t.Fatalf("host %d overcommitted: %+v / %+v", i, h.Used, h.Cap)
+				}
+				if h.Used.CPU < 0 || h.Used.RAMMB < 0 {
+					t.Fatalf("host %d negative: %+v", i, h.Used)
+				}
+			}
+			if vs := s.CheckInvariants(); len(vs) != 0 {
+				t.Fatalf("invariants violated:\n%s", audit.Report(vs))
+			}
+		}
+		// Every arrival has a departure in the stream, so the grid must
+		// end empty: departures freed exactly what arrivals reserved.
+		for i, h := range s.Hosts() {
+			if h.Used != (Demand{}) {
+				t.Fatalf("host %d load %+v after full churn", i, h.Used)
+			}
+		}
+		if s.Stats.Placed != s.Stats.Departed {
+			t.Fatalf("%d placed, %d departed after full churn", s.Stats.Placed, s.Stats.Departed)
+		}
+		if s.Stats.Placed+s.Stats.Rejected != arrivals {
+			t.Fatalf("placed %d + rejected %d != arrivals %d", s.Stats.Placed, s.Stats.Rejected, arrivals)
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/workload"
+)
+
+// testFlavors is a mixed-demand flavor table for pure scheduler tests.
+func testFlavors() []Flavor { return DefaultFlavors() }
+
+// uniformFlavors is a single-flavor table: every arrival demands the
+// same vector, which is the regime where accept/reject decisions are
+// provably policy-independent (see TestPoliciesAgreeOnUniformStreams).
+func uniformFlavors() []Flavor {
+	wl := workload.Memcached()
+	wl.FootprintMB = 48
+	return []Flavor{{Name: "uni", CPU: 2, RAMMB: 192, Workload: wl, Weight: 1}}
+}
+
+func testCaps(hosts, cpu, ramMB int) []Demand {
+	caps := make([]Demand, hosts)
+	for i := range caps {
+		caps[i] = Demand{CPU: cpu, RAMMB: ramMB}
+	}
+	return caps
+}
+
+// driveStream replays a churn stream through a pure scheduler,
+// asserting after every event that the incremental bookkeeping matches
+// a from-scratch recompute, and that the policy accepts exactly when
+// some host has room (feasibility consistency). It returns the
+// accept/reject decision per arrival, keyed by VM id.
+func driveStream(t *testing.T, s *Scheduler, events []Event) map[int]bool {
+	t.Helper()
+	accepted := make(map[int]bool)
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		switch ev.Kind {
+		case Arrive:
+			if seen[ev.VM] {
+				t.Fatalf("VM %d arrives twice in the stream", ev.VM)
+			}
+			seen[ev.VM] = true
+			feasible := false
+			for _, h := range s.Hosts() {
+				if h.Fits(ev.Flavor.Demand()) {
+					feasible = true
+					break
+				}
+			}
+			host, ok := s.Place(ev.VM, ev.Flavor.Demand(), nil)
+			if ok != feasible {
+				t.Fatalf("policy %s: VM %d %+v accepted=%v but feasible=%v",
+					s.Policy().Name(), ev.VM, ev.Flavor.Demand(), ok, feasible)
+			}
+			accepted[ev.VM] = ok
+			if ok {
+				p, found := s.Lookup(ev.VM)
+				if !found || p.Host != host || p.D != ev.Flavor.Demand() {
+					t.Fatalf("policy %s: VM %d placement not recorded: %+v (host %d)",
+						s.Policy().Name(), ev.VM, p, host)
+				}
+			} else if _, found := s.Lookup(ev.VM); found {
+				t.Fatalf("policy %s: rejected VM %d has a placement", s.Policy().Name(), ev.VM)
+			}
+		case Depart:
+			_, ok := s.Release(ev.VM)
+			if ok != accepted[ev.VM] {
+				t.Fatalf("policy %s: VM %d release ok=%v but accepted=%v",
+					s.Policy().Name(), ev.VM, ok, accepted[ev.VM])
+			}
+		}
+		if vs := s.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("policy %s: invariants violated mid-stream:\n%s",
+				s.Policy().Name(), audit.Report(vs))
+		}
+	}
+	return accepted
+}
+
+// TestPolicyFeasibilityConsistency checks, for every policy over mixed
+// demand streams, that arrivals are accepted exactly when feasible,
+// bookkeeping stays consistent after every event, and the full
+// arrive/depart stream returns every host to zero load.
+func TestPolicyFeasibilityConsistency(t *testing.T) {
+	for _, pol := range Policies() {
+		for seed := int64(1); seed <= 5; seed++ {
+			s := NewScheduler(pol, testCaps(3, 8, 768))
+			events := GenerateStream(StreamConfig{
+				Arrivals:         40,
+				MeanInterarrival: 2,
+				MeanLifetime:     30,
+				Flavors:          testFlavors(),
+				Seed:             seed,
+			})
+			driveStream(t, s, events)
+			for i, h := range s.Hosts() {
+				if h.Used != (Demand{}) {
+					t.Fatalf("policy %s seed %d: host %d load %+v after all departures",
+						pol.Name(), seed, i, h.Used)
+				}
+			}
+			if s.Stats.Placed != s.Stats.Departed {
+				t.Fatalf("policy %s seed %d: %d placed but %d departed",
+					pol.Name(), seed, s.Stats.Placed, s.Stats.Departed)
+			}
+			if _, ok := s.Lookup(0); s.Stats.Placed > 0 && ok {
+				t.Fatalf("policy %s seed %d: VM 0 still placed after its departure", pol.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestPoliciesAgreeOnUniformStreams replays single-flavor streams
+// through every policy. With uniform demands a host's load is a slot
+// count, so "some host has room" is a pure function of the resident
+// population — every feasibility-consistent policy must accept and
+// reject exactly the same arrivals, even though they spread them over
+// different hosts. (Mixed-demand streams can legitimately diverge:
+// packing choices change what fits later.)
+func TestPoliciesAgreeOnUniformStreams(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		events := GenerateStream(StreamConfig{
+			Arrivals:         48,
+			MeanInterarrival: 2,
+			MeanLifetime:     40,
+			Flavors:          uniformFlavors(),
+			Seed:             seed,
+		})
+		decisions := make([]map[int]bool, 0, len(Policies()))
+		for _, pol := range Policies() {
+			s := NewScheduler(pol, testCaps(3, 6, 600))
+			decisions = append(decisions, driveStream(t, s, events))
+		}
+		base := decisions[0]
+		for pi, d := range decisions[1:] {
+			for vm, ok := range base {
+				if d[vm] != ok {
+					t.Fatalf("seed %d: %s accepts VM %d = %v but %s says %v",
+						seed, Policies()[0].Name(), vm, ok, Policies()[pi+1].Name(), d[vm])
+				}
+			}
+		}
+	}
+}
+
+// TestBestFitPacksTightest pins the best-fit scoring on a hand-built
+// grid: with one near-full host and one empty host, best-fit tops up
+// the near-full host while first-fit would too (it is first); with the
+// order reversed, best-fit still picks the fuller host.
+func TestBestFitPacksTightest(t *testing.T) {
+	s := NewScheduler(BestFit{}, []Demand{{CPU: 8, RAMMB: 800}, {CPU: 8, RAMMB: 800}})
+	// Fill host 1 most of the way; host 0 stays empty.
+	if h, ok := s.Place(0, Demand{CPU: 4, RAMMB: 400}, nil); !ok || h != 0 {
+		t.Fatalf("first placement on empty grid went to host %d", h)
+	}
+	// A small VM should land on host 0 (the fuller one) under best-fit.
+	if h, ok := s.Place(1, Demand{CPU: 1, RAMMB: 100}, nil); !ok || h != 0 {
+		t.Fatalf("best-fit placed on host %d, want the fuller host 0", h)
+	}
+	// A VM that no longer fits host 0 goes to host 1.
+	if h, ok := s.Place(2, Demand{CPU: 4, RAMMB: 400}, nil); !ok || h != 1 {
+		t.Fatalf("best-fit placed on host %d, want overflow host 1", h)
+	}
+	// And one that fits nowhere is rejected.
+	if _, ok := s.Place(3, Demand{CPU: 8, RAMMB: 800}, nil); ok {
+		t.Fatal("infeasible demand was accepted")
+	}
+}
+
+// TestFragAwarePrefersUnfragmentedHost checks the frag-aware policy
+// reads the fragmentation signal: with identical loads it places on the
+// host with the lower FMFI, breaking FMFI ties toward higher huge-page
+// coverage.
+func TestFragAwarePrefersUnfragmentedHost(t *testing.T) {
+	pol := FragAware{}
+	hosts := []HostLoad{
+		{Cap: Demand{8, 800}},
+		{Cap: Demand{8, 800}},
+		{Cap: Demand{8, 800}},
+	}
+	d := Demand{CPU: 2, RAMMB: 200}
+	frag := []FragInfo{{FMFI: 0.8}, {FMFI: 0.2}, {FMFI: 0.5}}
+	if got := pol.Choose(d, hosts, frag); got != 1 {
+		t.Fatalf("frag-aware chose host %d, want lowest-FMFI host 1", got)
+	}
+	frag = []FragInfo{{FMFI: 0.4, HugeCoverage: 0.1}, {FMFI: 0.4, HugeCoverage: 0.9}, {FMFI: 0.4}}
+	if got := pol.Choose(d, hosts, frag); got != 1 {
+		t.Fatalf("frag-aware chose host %d, want highest-coverage host 1", got)
+	}
+	// Nil frag degrades to best-fit-with-index-ties, not a panic.
+	if got := pol.Choose(d, hosts, nil); got != 0 {
+		t.Fatalf("frag-aware with nil signals chose host %d, want 0", got)
+	}
+}
+
+// TestSchedulerMutationAudit corrupts scheduler state field by field
+// and asserts CheckInvariants names each corruption: the audit is only
+// trustworthy if it demonstrably fails on broken state.
+func TestSchedulerMutationAudit(t *testing.T) {
+	build := func() *Scheduler {
+		s := NewScheduler(FirstFit{}, testCaps(2, 8, 768))
+		s.Place(0, Demand{CPU: 2, RAMMB: 256}, nil)
+		s.Place(1, Demand{CPU: 2, RAMMB: 256}, nil)
+		s.Place(2, Demand{CPU: 2, RAMMB: 256}, nil)
+		if vs := s.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("baseline not clean:\n%s", audit.Report(vs))
+		}
+		return s
+	}
+
+	s := build()
+	s.hosts[0].Used.RAMMB += 64 // drift the incremental load
+	if vs := s.CheckInvariants(); !audit.Has(vs, "sched-recompute") {
+		t.Fatalf("load drift not caught:\n%s", audit.Report(vs))
+	}
+
+	s = build()
+	s.hosts[0].Used = Demand{CPU: 9, RAMMB: 800} // beyond capacity
+	vs := s.CheckInvariants()
+	if !audit.Has(vs, "sched-overcommit") || !audit.Has(vs, "sched-recompute") {
+		t.Fatalf("overcommit not caught:\n%s", audit.Report(vs))
+	}
+
+	s = build()
+	s.hosts[1].Used = Demand{CPU: -1, RAMMB: -64} // negative load
+	if vs := s.CheckInvariants(); !audit.Has(vs, "sched-negative") {
+		t.Fatalf("negative load not caught:\n%s", audit.Report(vs))
+	}
+
+	s = build()
+	p := s.placed[1]
+	p.Host = 7 // point a placement at a host that does not exist
+	s.placed[1] = p
+	if vs := s.CheckInvariants(); !audit.Has(vs, "sched-host-range") {
+		t.Fatalf("host range not caught:\n%s", audit.Report(vs))
+	}
+
+	s = build()
+	s.Stats.Placed++ // counter drift
+	if vs := s.CheckInvariants(); audit.Count(vs, "sched-count") != 1 {
+		t.Fatalf("counter drift not caught exactly once:\n%s", audit.Report(vs))
+	}
+
+	s = build()
+	delete(s.placed, 2) // lose a placement without releasing its load
+	vs = s.CheckInvariants()
+	if !audit.Has(vs, "sched-recompute") || !audit.Has(vs, "sched-count") {
+		t.Fatalf("lost placement not caught:\n%s", audit.Report(vs))
+	}
+}
+
+// TestPolicyByName round-trips every canonical name and rejects junk.
+func TestPolicyByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PolicyByName("worst-fit"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+// TestMigrateMovesReservation checks Migrate's bookkeeping and error
+// paths: load moves atomically, and unknown VMs, out-of-range or full
+// destinations, and self-moves are refused without state damage.
+func TestMigrateMovesReservation(t *testing.T) {
+	s := NewScheduler(FirstFit{}, testCaps(2, 4, 400))
+	s.Place(0, Demand{CPU: 4, RAMMB: 400}, nil) // fills host 0
+	s.Place(1, Demand{CPU: 2, RAMMB: 200}, nil) // lands on host 1
+
+	if err := s.Migrate(99, 1); err == nil {
+		t.Fatal("migrating an unplaced VM succeeded")
+	}
+	if err := s.Migrate(1, 2); err == nil {
+		t.Fatal("migrating to an out-of-range host succeeded")
+	}
+	if err := s.Migrate(1, 1); err == nil {
+		t.Fatal("migrating a VM onto its own host succeeded")
+	}
+	if err := s.Migrate(1, 0); err == nil {
+		t.Fatal("migrating into a full host succeeded")
+	}
+	if vs := s.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("failed migrations damaged state:\n%s", audit.Report(vs))
+	}
+
+	s.Release(0)
+	if err := s.Migrate(1, 0); err != nil {
+		t.Fatalf("legal migration refused: %v", err)
+	}
+	if p, _ := s.Lookup(1); p.Host != 0 {
+		t.Fatalf("VM 1 on host %d after migration, want 0", p.Host)
+	}
+	if got := s.Hosts()[1].Used; got != (Demand{}) {
+		t.Fatalf("source host still loaded %+v after migration", got)
+	}
+	if s.Stats.Migrations != 1 {
+		t.Fatalf("migration counter = %d, want 1", s.Stats.Migrations)
+	}
+	if vs := s.CheckInvariants(); len(vs) != 0 {
+		t.Fatalf("migration damaged state:\n%s", audit.Report(vs))
+	}
+}

@@ -50,6 +50,11 @@ type Machine struct {
 	// Tick advances its simulated clock so every event and sample is
 	// stamped with the tick it happened on.
 	Rec *trace.Recorder
+
+	// nextID issues VM identifiers. It only grows, so an ID is never
+	// reused after RemoveVM — audits and traces that key state by
+	// vm.ID cannot conflate a departed VM with a later arrival.
+	nextID int
 }
 
 // NewMachine creates a host with the given amount of physical memory.
@@ -82,7 +87,7 @@ func (m *Machine) AddVMSetup(s VMSetup) *VM {
 // given per-layer policies, and a TLB with the given configuration.
 func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg tlb.Config) *VM {
 	vm := &VM{
-		ID:         len(m.VMs),
+		ID:         m.nextID,
 		TLB:        tlb.New(tcfg),
 		guestPages: guestPages,
 		costs:      m.Costs,
@@ -99,8 +104,48 @@ func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg 
 	// base-grain entries to age out, as discussed in the TLB package.)
 	vm.Guest.FlushRegion = vm.TLB.FlushHugeRegion
 	vm.wcInit()
+	m.nextID++
 	m.VMs = append(m.VMs, vm)
 	return vm
+}
+
+// RemoveVM tears the VM down and returns its host frames to the shared
+// buddy: every EPT VMA is unmapped (so huge and base backings free back
+// to the host allocator), the walk-cache arena returns to the pool, and
+// the VM leaves the machine's VM list. Guest-layer state needs no
+// unwinding — the guest buddy is private to the VM and dies with it.
+// Returns the number of host base pages freed. The VM must belong to
+// this machine; removing an unknown VM panics.
+func (m *Machine) RemoveVM(vm *VM) uint64 {
+	idx := -1
+	for i, v := range m.VMs {
+		if v == vm {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("machine: RemoveVM of VM not on this machine")
+	}
+	freed := vm.EPT.MappedPages()
+	for _, v := range append([]*VMA(nil), vm.EPT.Space.VMAs()...) {
+		vm.EPT.UnmapVMA(v)
+	}
+	vm.wcRelease()
+	m.VMs = append(m.VMs[:idx], m.VMs[idx+1:]...)
+	return freed
+}
+
+// AbsorbMigration charges the cost of receiving a live-migrated VM:
+// pages base pages copied in from the source host, booked against this
+// VM's EPT layer as migration traffic (Stats.MigratedPages) and
+// background copy cycles, exactly as intra-host page migration is
+// booked. The fleet layer calls this on the destination replica after
+// RemoveVM has released the source replica's frames, so a migration
+// conserves pages across host accounting.
+func (vm *VM) AbsorbMigration(pages uint64) {
+	vm.EPT.Stats.MigratedPages += pages
+	vm.EPT.Stats.BackgroundCycles += pages * vm.costs.CopyPage
 }
 
 // Access performs one guest memory access at gva, faulting in both

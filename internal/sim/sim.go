@@ -310,6 +310,19 @@ func buildPolicies(sys System) (machine.Policy, machine.Policy, *core.Gemini) {
 	}
 }
 
+// BuildPolicies constructs the per-layer policies for a system: the
+// guest-layer policy, the host (EPT) layer policy, and the Gemini
+// coordinator (nil for non-Gemini systems; when non-nil the caller must
+// Attach it to the VM after AddVM). The fleet layer uses this to stand
+// up per-system policy stacks for VMs it places on hosts outside an
+// Engine. Panics on an out-of-range system; gate with ValidSystem.
+func BuildPolicies(sys System) (guest, host machine.Policy, gem *core.Gemini) {
+	return buildPolicies(sys)
+}
+
+// ValidSystem reports whether sys names a system under test.
+func ValidSystem(sys System) bool { return sys >= 0 && sys < numSystems }
+
 // engineConfig translates a single-VM Config into its EngineConfig.
 // VM 0's derived seed streams coincide with the historic single-VM
 // streams, so no overrides are needed.

@@ -55,6 +55,12 @@ const (
 	EvBookingExpire
 	EvCompactionPass
 	EvMigration
+	// Fleet-layer events (appended so earlier names keep their codes):
+	// a VM arriving on a host, departing from one, or being rejected by
+	// the placement scheduler because no host could hold it.
+	EvVMArrive
+	EvVMDepart
+	EvVMReject
 	numEventTypes
 )
 
@@ -69,6 +75,9 @@ var eventTypeNames = [numEventTypes]string{
 	EvBookingExpire:  "BookingExpire",
 	EvCompactionPass: "CompactionPass",
 	EvMigration:      "Migration",
+	EvVMArrive:       "VMArrive",
+	EvVMDepart:       "VMDepart",
+	EvVMReject:       "VMReject",
 }
 
 // String returns the canonical event-type name used in JSONL output.
