@@ -51,8 +51,11 @@ type (
 	FragSpec = sim.FragSpec
 )
 
-// The evaluated systems, in the paper's figure order.
-const (
+// The evaluated systems, in the paper's figure order, plus the two
+// extension systems (FHPM, Segmentation). Values come from the system
+// registry, so they are vars rather than consts; they are stable for a
+// given build.
+var (
 	HostBVMB            = sim.HostBVMB
 	Misalignment        = sim.Misalignment
 	THP                 = sim.THP
@@ -65,6 +68,8 @@ const (
 	GeminiBucketOnly    = sim.GeminiBucketOnly
 	GeminiStaticTimeout = sim.GeminiStaticTimeout
 	GeminiNoPrealloc    = sim.GeminiNoPrealloc
+	FHPM                = sim.FHPM
+	Segmentation        = sim.Segmentation
 )
 
 // Flight-recorder re-exports. A TraceRecorder attached to Config.Trace
@@ -124,8 +129,13 @@ func RunMany(vms []VMConfig) []Result { return sim.RunMany(vms) }
 // configuration; Engine.Run returns per-VM results.
 func NewEngine(ec EngineConfig) *sim.Engine { return sim.NewEngine(ec) }
 
-// Systems returns the paper's eight evaluated systems.
+// Systems returns the figure-grade evaluated systems: the paper's
+// eight plus the FHPM and Segmentation extensions, in figure order.
 func Systems() []System { return sim.Systems() }
+
+// AllSystems returns every registered system, including the GEMINI
+// ablation variants, in registry order.
+func AllSystems() []System { return sim.AllSystems() }
 
 // SystemByName resolves a system display name ("GEMINI", "THP", ...).
 func SystemByName(name string) (System, error) { return sim.SystemByName(name) }

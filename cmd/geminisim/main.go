@@ -30,13 +30,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"repro"
 )
 
+// systemNames renders the registered figure systems for the -system
+// flag help, so the usage text tracks the registry.
+func systemNames() string {
+	names := make([]string, 0, len(repro.Systems()))
+	for _, s := range repro.Systems() {
+		names = append(names, s.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
-	system := flag.String("system", "GEMINI", "system under test (Host-B-VM-B, Misalignment, THP, CA-paging, Trans-ranger, HawkEye, Ingens, GEMINI)")
+	system := flag.String("system", "GEMINI", "system under test ("+systemNames()+")")
 	wl := flag.String("workload", "masstree", "workload name from Table 2 (or 'micro')")
 	fragmented := flag.Bool("fragmented", false, "pre-fragment guest and host memory")
 	reused := flag.Bool("reused", false, "run in a reused VM (SVM predecessor first)")

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/fleet"
+	"repro/internal/sim"
 )
 
 // Re-exported fleet types. See package repro/internal/fleet for field
@@ -35,14 +36,31 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) { return fleet.Run(cfg) }
 // FleetPolicies returns the canonical placement policy names.
 func FleetPolicies() []string { return fleet.PolicyNames() }
 
+// FleetSystems derives the fleet sweep's system axis from the system
+// registry: the guest-only baseline (THP) plus every figure system
+// that either coordinates the two layers or replaces the translation
+// mode — the systems whose behaviour the fleet's churn and placement
+// pressure can actually differentiate. A newly registered coordinated
+// system joins the fleet figure automatically.
+func FleetSystems() []System {
+	systems := []System{THP}
+	for _, s := range Systems() {
+		d := sim.Def(s)
+		if d.Coordinated || d.NewTranslation != nil {
+			systems = append(systems, s)
+		}
+	}
+	return systems
+}
+
 // FleetSweep runs the fleet figure: every placement policy crossed
-// with a guest-only baseline (THP) and the coordinated system
-// (Gemini), each cell one fleet under the same churn stream. The
-// fleet is sized so placement pressure is real — some arrivals are
-// rejected — which is where the policies differ. Cells run on the
-// shared experiment grid, so Options.Parallel and Options.Trace
-// compose as for every other figure (each cell's fleet steps its hosts
-// sequentially inside its grid cell).
+// with the FleetSystems axis (the THP baseline plus each coordinated
+// or translation-replacing figure system), each cell one fleet under
+// the same churn stream. The fleet is sized so placement pressure is
+// real — some arrivals are rejected — which is where the policies
+// differ. Cells run on the shared experiment grid, so Options.Parallel
+// and Options.Trace compose as for every other figure (each cell's
+// fleet steps its hosts sequentially inside its grid cell).
 func FleetSweep(o Options) []FleetResult {
 	hosts, arrivals := 6, 64
 	hostMemMB := 1024
@@ -50,7 +68,7 @@ func FleetSweep(o Options) []FleetResult {
 		hosts, arrivals = 3, 24
 		hostMemMB = 768
 	}
-	systems := []System{THP, Gemini}
+	systems := FleetSystems()
 	return runGrid(o, FleetPolicies(), systems,
 		[]Setting{{Name: "churn"}},
 		func(p string) string { return p },

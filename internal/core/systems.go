@@ -1,0 +1,48 @@
+package core
+
+// Registry entries for GEMINI and its ablations: the full coordinator
+// (the paper's system) plus the four Figure 16 / §6 ablation variants,
+// each one Config away from the full system. Registering from this
+// package keeps the ablation knobs next to the code they disable.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sysreg"
+)
+
+// geminiSystem wraps a Config into a SystemDef Build hook: a fresh
+// coordinator and its two layer policies per VM.
+func geminiSystem(cfg Config) func() (machine.Policy, machine.Policy, sysreg.Coordinator) {
+	return func() (machine.Policy, machine.Policy, sysreg.Coordinator) {
+		g, gp, hp := New(cfg)
+		return gp, hp, g
+	}
+}
+
+func init() {
+	sysreg.Register(sysreg.SystemDef{
+		Name: "GEMINI", Rank: 7, Figure: true, Coordinated: true,
+		Build: geminiSystem(Config{}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		// The first half of the Figure 16 breakdown: huge bucket
+		// disabled, EMA/HB booking only.
+		Name: "GEMINI-EMA/HB", Rank: 8, Coordinated: true,
+		Build: geminiSystem(Config{DisableBucket: true}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		// The second half of the breakdown: booking and promoter
+		// disabled, bucket only.
+		Name: "GEMINI-bucket", Rank: 9, Coordinated: true,
+		Build: geminiSystem(Config{DisableBooking: true, DisablePromoter: true}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "GEMINI-static-timeout", Rank: 10, Coordinated: true,
+		Build: geminiSystem(Config{DisableAdaptiveTimeout: true}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "GEMINI-no-prealloc", Rank: 11, Coordinated: true,
+		Build: geminiSystem(Config{PreallocThreshold: mem.PagesPerHuge + 1}),
+	})
+}

@@ -29,10 +29,10 @@ import (
 	"sync/atomic"
 
 	"repro/internal/audit"
-	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/sysreg"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -180,7 +180,7 @@ type liveVM struct {
 	host   int
 	mvm    *machine.VM
 	gp     machine.Policy
-	gem    *core.Gemini
+	coord  sysreg.Coordinator
 	w      *workload.Workload
 	// gen counts migrations; it salts the workload seed so the rebuilt
 	// replica's stream is fresh but deterministic.
@@ -361,22 +361,23 @@ func (f *Fleet) arrive(ev Event) {
 
 // boot builds the machine-layer VM and its workload on host h.
 func (f *Fleet) boot(id int, fl Flavor, h *host, gen int) *liveVM {
-	gp, hp, gem := sim.BuildPolicies(f.cfg.System)
+	gp, hp, coord := sim.BuildPolicies(f.cfg.System)
 	mvm := h.m.AddVMSetup(machine.VMSetup{
 		GuestPages:  fl.GuestPages(),
 		GuestPolicy: gp,
 		HostPolicy:  hp,
 		TLB:         tlb.DefaultConfig(),
+		Translation: sim.NewTranslation(f.cfg.System),
 	})
-	if gem != nil {
-		gem.Attach(mvm)
+	if coord != nil {
+		coord.Attach(mvm)
 	}
 	if h.rec != nil {
 		mvm.Guest.Trace = h.rec.Handle(id, "guest")
 		mvm.EPT.Trace = h.rec.Handle(id, "ept")
 	}
 	w := workload.New(fl.Workload, mvm, f.vmSeed(id, gen))
-	return &liveVM{id: id, flavor: fl, host: h.id, mvm: mvm, gp: gp, gem: gem, w: w, gen: gen}
+	return &liveVM{id: id, flavor: fl, host: h.id, mvm: mvm, gp: gp, coord: coord, w: w, gen: gen}
 }
 
 // depart tears one VM down: the guest process exits, the host frames
@@ -560,15 +561,15 @@ func (f *Fleet) hostCoverage(h *host) float64 {
 }
 
 // runAudit audits the fleet's own bookkeeping, every host machine, and
-// every resident Gemini coordinator, panicking with the full report on
-// the first violation (matching the engine's audit behaviour).
+// every resident auditable coordinator, panicking with the full report
+// on the first violation (matching the engine's audit behaviour).
 func (f *Fleet) runAudit() {
 	vs := f.CheckInvariants()
 	for _, h := range f.hosts {
 		vs = append(vs, audit.Prefix(h.m.CheckInvariants(), fmt.Sprintf("host%d/", h.id))...)
 		for _, id := range h.resident {
-			if gem := f.vms[id].gem; gem != nil {
-				vs = append(vs, audit.Prefix(gem.CheckInvariants(), fmt.Sprintf("host%d/vm%d/", h.id, id))...)
+			if a, ok := f.vms[id].coord.(audit.Auditable); ok {
+				vs = append(vs, audit.Prefix(a.CheckInvariants(), fmt.Sprintf("host%d/vm%d/", h.id, id))...)
 			}
 		}
 	}

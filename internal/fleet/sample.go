@@ -70,8 +70,8 @@ func (f *Fleet) vmSample(v *liveVM) trace.Sample {
 		s.BucketReused = b.Reused
 		s.BucketTaken = b.Taken
 	}
-	if v.gem != nil {
-		s.PromoterScans = v.gem.ScanCount
+	if gem, ok := v.coord.(*core.Gemini); ok {
+		s.PromoterScans = gem.ScanCount
 	}
 	return s
 }

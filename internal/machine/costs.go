@@ -34,6 +34,11 @@ type CostModel struct {
 	// the effect the paper blames for Translation-ranger's latency
 	// (§6.2). Charged as a stall alongside Shootdown.
 	CachePollution uint64
+	// SegmentResize is the fixed cost of rewriting a segment
+	// descriptor when a segment-translation guest grows its address
+	// space (Teabe et al., PAPERS.md); the relocation copy is charged
+	// per page on top via CopyPage. Unused by radix-mode VMs.
+	SegmentResize uint64
 }
 
 // DefaultCosts returns the cost model used across the reproduction.
@@ -47,5 +52,6 @@ func DefaultCosts() CostModel {
 		CoWFault:        4_000,
 		ScanRegion:      500,
 		CachePollution:  40,
+		SegmentResize:   20_000,
 	}
 }

@@ -1,0 +1,135 @@
+package machine_test
+
+// FuzzSegmentRadixOracle pins the contract that a translation mode is
+// a cost model, not a mapping semantics (DESIGN.md §7): segment-mode
+// translation and the default nested radix walk must agree on every
+// observable mapping outcome — which accesses fault, what physical
+// address a virtual address resolves to, which regions are huge — for
+// identical mapping histories. Only walk *cost* (cycles, walk stats)
+// may differ. The check mirrors FuzzWalkCacheInvalidation: two twin
+// VMs driven through one interleaving of accesses and destructive
+// operations, diverging state fails.
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// resolvePA walks both tables by hand: GVA -> GPA via the guest table,
+// GPA -> host frame via the EPT. This is the mapping ground truth both
+// translation modes must agree on.
+func resolvePA(vm *machine.VM, gva uint64) (uint64, bool) {
+	gfn, _, ok := vm.Guest.Table.Lookup(gva)
+	if !ok {
+		return 0, false
+	}
+	gpa := gfn * mem.PageSize
+	hfn, _, ok := vm.EPT.Table.Lookup(gpa)
+	if !ok {
+		return 0, false
+	}
+	return hfn*mem.PageSize + gva%mem.PageSize, true
+}
+
+// faultCounts snapshots the fault-decision counters of both layers.
+func faultCounts(vm *machine.VM) [6]uint64 {
+	g, e := vm.Guest.Stats, vm.EPT.Stats
+	return [6]uint64{g.Faults, g.HugeFaults, g.FallbackFaults,
+		e.Faults, e.HugeFaults, e.FallbackFaults}
+}
+
+func FuzzSegmentRadixOracle(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 10, 0, 10})                          // access, promote, access
+	f.Add([]byte{0, 0, 2, 0, 0, 0})                             // access, demote, access
+	f.Add([]byte{0, 7, 3, 0, 0, 7, 0, 9})                       // unmap/remap cycle
+	f.Add([]byte{0, 1, 4, 0, 0, 1, 4, 0, 0, 2})                 // ticks between touches
+	f.Add([]byte{0, 200, 1, 200, 4, 0, 0, 200, 2, 200, 0, 201}) // promote+tick+demote
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		mr, radix := twinVM()
+		ms, seg := twinVM()
+		seg.SetTranslation(machine.NewSegmentTranslation())
+		base := radix.Guest.Space.VMAs()[0].Start
+		if sb := seg.Guest.Space.VMAs()[0].Start; sb != base {
+			t.Fatalf("twins diverge before any op: bases %#x vs %#x", base, sb)
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%5, uint64(ops[i+1])
+			va := base + (arg*977)%fuzzSpan*mem.PageSize
+			switch op {
+			case 0: // access: same fault decisions, same final PA
+				radix.Access(va)
+				seg.Access(va)
+				if f1, f2 := faultCounts(radix), faultCounts(seg); f1 != f2 {
+					t.Fatalf("op %d: fault decisions diverged at %#x: radix %v, segment %v",
+						i, va, f1, f2)
+				}
+				pa1, ok1 := resolvePA(radix, va)
+				pa2, ok2 := resolvePA(seg, va)
+				if ok1 != ok2 || pa1 != pa2 {
+					t.Fatalf("op %d: PA diverged at %#x: radix (%#x,%v), segment (%#x,%v)",
+						i, va, pa1, ok1, pa2, ok2)
+				}
+			case 1: // guest promotion (collapse)
+				hb := va &^ uint64(mem.HugeSize-1)
+				_, h1, _ := radix.Guest.Table.LookupHugeRegion(hb)
+				_, h2, _ := seg.Guest.Table.LookupHugeRegion(hb)
+				if h1 != h2 {
+					t.Fatalf("op %d: hugeness diverged at %#x", i, hb)
+				}
+				if h1 {
+					continue
+				}
+				e1 := radix.Guest.PromoteInPlace(hb)
+				e2 := seg.Guest.PromoteInPlace(hb)
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("op %d: promote diverged: %v vs %v", i, e1, e2)
+				}
+			case 2: // guest demotion (split)
+				e1 := radix.Guest.Demote(va &^ (mem.HugeSize - 1))
+				e2 := seg.Guest.Demote(va &^ (mem.HugeSize - 1))
+				if (e1 == nil) != (e2 == nil) {
+					t.Fatalf("op %d: demote diverged: %v vs %v", i, e1, e2)
+				}
+			case 3: // unmap the VMA and map a fresh one (the segment twin
+				// also pays a resize stall here — cost, not mapping)
+				radix.Guest.UnmapVMA(radix.Guest.Space.VMAs()[0])
+				seg.Guest.UnmapVMA(seg.Guest.Space.VMAs()[0])
+				radix.Guest.Space.MMap(8<<20, 0)
+				seg.Guest.Space.MMap(8<<20, 0)
+				base = radix.Guest.Space.VMAs()[0].Start
+				if sb := seg.Guest.Space.VMAs()[0].Start; sb != base {
+					t.Fatalf("op %d: remap bases diverged: %#x vs %#x", i, base, sb)
+				}
+			case 4: // background quantum
+				mr.Tick()
+				ms.Tick()
+			}
+		}
+		// Final mapping state must agree everywhere the modes could
+		// have diverged it.
+		for _, pair := range [][2]*machine.Layer{
+			{radix.Guest, seg.Guest}, {radix.EPT, seg.EPT},
+		} {
+			if m1, m2 := pair[0].Table.Mapped4K(), pair[1].Table.Mapped4K(); m1 != m2 {
+				t.Fatalf("%s mapped4K diverged: %d vs %d", pair[0].Name, m1, m2)
+			}
+			if m1, m2 := pair[0].Table.Mapped2M(), pair[1].Table.Mapped2M(); m1 != m2 {
+				t.Fatalf("%s mapped2M diverged: %d vs %d", pair[0].Name, m1, m2)
+			}
+		}
+		if a1, a2 := radix.Alignment(), seg.Alignment(); a1 != a2 {
+			t.Fatalf("alignment diverged: %+v vs %+v", a1, a2)
+		}
+		for p := uint64(0); p < fuzzSpan; p += 37 {
+			va := base + p*mem.PageSize
+			pa1, ok1 := resolvePA(radix, va)
+			pa2, ok2 := resolvePA(seg, va)
+			if ok1 != ok2 || pa1 != pa2 {
+				t.Fatalf("final sweep: PA diverged at %#x: radix (%#x,%v), segment (%#x,%v)",
+					va, pa1, ok1, pa2, ok2)
+			}
+		}
+	})
+}

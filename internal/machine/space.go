@@ -39,6 +39,10 @@ type AddressSpace struct {
 	nextID int
 	// next is the bump pointer for MMap placement.
 	next uint64
+	// OnMMap, when non-nil, observes every new VMA after placement.
+	// Segment-translation VMs hook it to charge segment-resize costs
+	// on address-space growth; it stays nil everywhere else.
+	OnMMap func(v *VMA)
 }
 
 // NewAddressSpace returns an empty space whose first mapping will be
@@ -61,6 +65,9 @@ func (s *AddressSpace) MMap(bytes uint64, offsetPages uint64) *VMA {
 	// Leave an unmapped guard gap so adjacent VMAs never share a huge
 	// region, as with real mmap randomization.
 	s.next = start + length + 16*mem.HugeSize
+	if s.OnMMap != nil {
+		s.OnMMap(v)
+	}
 	return v
 }
 

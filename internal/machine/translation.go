@@ -1,0 +1,107 @@
+package machine
+
+// This file lifts address translation into a pluggable TranslationMode:
+// the nested radix walk the paper's systems all run on becomes the
+// default module, and alternative hardware/hypervisor translation
+// schemes (the flat segment table of Teabe et al., PAPERS.md) slot in
+// beside it without touching the access hot path's radix case. A mode
+// owns three decisions: what a TLB miss costs (walk references and
+// page-walk-cache interaction), which TLB-entry kind a translation may
+// install (the walk cache derives its cached eff kind through the same
+// rule), and what growing the guest address space costs (segment
+// resize). See DESIGN.md §7.
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// TranslationMode abstracts how one VM's guest-virtual addresses are
+// translated once both layers have mapped them: the TLB-miss walk
+// model and the TLB-entry granularity rule.
+//
+// Modes must be stateless or share-nothing per VM; the engine builds
+// one per VM. The fault path (Layer.EnsureMapped) is mode-independent:
+// both layers keep their page tables and policies, which is what lets
+// the segment-mode oracle test demand identical mapping decisions from
+// both modes.
+type TranslationMode interface {
+	// Name identifies the mode in diagnostics.
+	Name() string
+	// EffectiveKind returns the TLB-entry kind a translation with the
+	// given per-layer mapping kinds may install.
+	EffectiveKind(gKind, hKind mem.PageSizeKind) mem.PageSizeKind
+	// Access charges one translated access to the TLB: probe, and on a
+	// miss the mode's walk cost. eff must equal
+	// EffectiveKind(gKind, hKind); the walk cache passes its cached
+	// value.
+	Access(t *tlb.TLB, gva uint64, eff, gKind, hKind mem.PageSizeKind, gpa uint64) tlb.AccessResult
+	// VMAGrowCycles is the foreground stall charged when the guest
+	// address space grows by a VMA of the given page count (mmap,
+	// heap growth). Radix tables grow a page at a time for free;
+	// a segment machine must resize — possibly relocate — a
+	// contiguous segment.
+	VMAGrowCycles(c CostModel, pages uint64) uint64
+}
+
+// RadixNested is the default mode: two-dimensional nested page walks
+// over radix tables at both layers, with per-layer page-walk caches
+// (§2.1 of the paper). Its Access is exactly tlb.AccessNested, so VMs
+// without an explicit mode keep bit-identical behaviour.
+type RadixNested struct{}
+
+// Name implements TranslationMode.
+func (RadixNested) Name() string { return "radix-nested" }
+
+// EffectiveKind implements the §2.2 alignment rule: a 2 MiB TLB entry
+// requires huge mappings at both layers of the same region.
+func (RadixNested) EffectiveKind(gKind, hKind mem.PageSizeKind) mem.PageSizeKind {
+	if gKind == mem.Huge && hKind == mem.Huge {
+		return mem.Huge
+	}
+	return mem.Base
+}
+
+// Access implements TranslationMode.
+func (RadixNested) Access(t *tlb.TLB, gva uint64, eff, gKind, hKind mem.PageSizeKind, gpa uint64) tlb.AccessResult {
+	return t.AccessNested(gva, eff, gKind, hKind, gpa)
+}
+
+// VMAGrowCycles implements TranslationMode: radix tables grow lazily,
+// one 4 KiB table page at a time, at no modelled cost.
+func (RadixNested) VMAGrowCycles(CostModel, uint64) uint64 { return 0 }
+
+// SegmentTranslation models the flat-segment alternative of Teabe et
+// al. (PAPERS.md): each VMA is one contiguous segment, so a TLB miss
+// resolves with a single descriptor read — a depth-1 walk with no
+// page-walk-cache involvement — but growing the address space forces a
+// costly segment resize (allocate a larger contiguous region and copy).
+// Mapping decisions still flow through the per-layer policies and page
+// tables, so fault behaviour and final physical placement are
+// identical to radix mode for the same history; only miss costs and
+// growth costs differ.
+type SegmentTranslation struct{}
+
+// NewSegmentTranslation builds the segment mode.
+func NewSegmentTranslation() TranslationMode { return SegmentTranslation{} }
+
+// Name implements TranslationMode.
+func (SegmentTranslation) Name() string { return "segment" }
+
+// EffectiveKind keeps the alignment rule: TLB reach is a hardware
+// property independent of the walk structure, and under the base-page
+// policies the segmentation system runs it always yields Base.
+func (SegmentTranslation) EffectiveKind(gKind, hKind mem.PageSizeKind) mem.PageSizeKind {
+	return RadixNested{}.EffectiveKind(gKind, hKind)
+}
+
+// Access implements TranslationMode via the TLB's depth-1 segment path.
+func (SegmentTranslation) Access(t *tlb.TLB, gva uint64, eff, _, _ mem.PageSizeKind, _ uint64) tlb.AccessResult {
+	return t.AccessSegment(gva, eff)
+}
+
+// VMAGrowCycles implements TranslationMode: one segment-table rewrite
+// plus a copy of the (possibly relocated) segment contents.
+func (SegmentTranslation) VMAGrowCycles(c CostModel, pages uint64) uint64 {
+	return c.SegmentResize + pages*c.CopyPage
+}

@@ -25,6 +25,11 @@ type VM struct {
 
 	guestPages uint64
 	costs      CostModel
+	// mode is the VM's translation mode; radix caches the common case
+	// so the default nested-walk hot path stays free of interface
+	// dispatch (see translation.go).
+	mode  TranslationMode
+	radix bool
 	// wc is the software walk cache accelerating Access; see
 	// walkcache.go. A zero wc (nil entries) means disabled.
 	wc walkCache
@@ -76,11 +81,19 @@ type VMSetup struct {
 	HostPolicy  Policy
 	// TLB configures the VM's translation cache.
 	TLB tlb.Config
+	// Translation selects the VM's translation mode; nil selects the
+	// default nested radix walk.
+	Translation TranslationMode
 }
 
-// AddVMSetup creates a VM from a setup bundle. Equivalent to AddVM.
+// AddVMSetup creates a VM from a setup bundle. Equivalent to AddVM
+// followed by SetTranslation when a mode is given.
 func (m *Machine) AddVMSetup(s VMSetup) *VM {
-	return m.AddVM(s.GuestPages, s.GuestPolicy, s.HostPolicy, s.TLB)
+	vm := m.AddVM(s.GuestPages, s.GuestPolicy, s.HostPolicy, s.TLB)
+	if s.Translation != nil {
+		vm.SetTranslation(s.Translation)
+	}
+	return vm
 }
 
 // AddVM creates a VM with guestPages of guest physical memory, the
@@ -103,10 +116,36 @@ func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg 
 	// virtual region. (EPT-layer changes leave stale-but-correct
 	// base-grain entries to age out, as discussed in the TLB package.)
 	vm.Guest.FlushRegion = vm.TLB.FlushHugeRegion
+	vm.mode, vm.radix = RadixNested{}, true
 	vm.wcInit()
 	m.nextID++
 	m.VMs = append(m.VMs, vm)
 	return vm
+}
+
+// SetTranslation installs the VM's translation mode and arms its
+// address-space growth hook. Call before the guest maps anything;
+// installed TLB entries and cached walks are not migrated between
+// modes.
+func (vm *VM) SetTranslation(mode TranslationMode) {
+	_, isRadix := mode.(RadixNested)
+	vm.mode, vm.radix = mode, isRadix
+	vm.armTranslation()
+}
+
+// Translation returns the VM's translation mode.
+func (vm *VM) Translation() TranslationMode { return vm.mode }
+
+// armTranslation points the guest address space's growth hook at the
+// mode's resize cost. Radix VMs keep a nil hook (free growth, and no
+// closure on the MMap path). Re-run whenever Guest.Space is replaced.
+func (vm *VM) armTranslation() {
+	if vm.radix {
+		return
+	}
+	vm.Guest.Space.OnMMap = func(v *VMA) {
+		vm.Guest.AddStall(vm.mode.VMAGrowCycles(vm.costs, v.Pages()))
+	}
 }
 
 // RemoveVM tears the VM down and returns its host frames to the shared
@@ -171,7 +210,12 @@ func (vm *VM) Access(gva uint64) uint64 {
 			ent.gRef.Mark()
 			ent.eRef.Mark()
 			gpa := ent.gfn*mem.PageSize + (gva & (mem.PageSize - 1))
-			res := vm.TLB.AccessNested(gva, ent.eff, ent.gKind, ent.hKind, gpa)
+			var res tlb.AccessResult
+			if vm.radix {
+				res = vm.TLB.AccessNested(gva, ent.eff, ent.gKind, ent.hKind, gpa)
+			} else {
+				res = vm.mode.Access(vm.TLB, gva, ent.eff, ent.gKind, ent.hKind, gpa)
+			}
 			return res.Cycles + vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
 		}
 		cycles := vm.accessUncached(gva)
@@ -208,11 +252,17 @@ func (vm *VM) accessUncached(gva uint64) uint64 {
 	// mappings at both layers. (Boundaries coincide automatically: a
 	// huge guest mapping points at a huge-aligned GPA region, and a
 	// huge EPT mapping covering that GPA covers exactly that region.)
-	eff := mem.Base
-	if gKind == mem.Huge && hKind == mem.Huge {
-		eff = mem.Huge
+	var res tlb.AccessResult
+	if vm.radix {
+		eff := mem.Base
+		if gKind == mem.Huge && hKind == mem.Huge {
+			eff = mem.Huge
+		}
+		res = vm.TLB.AccessNested(gva, eff, gKind, hKind, gpa)
+	} else {
+		eff := vm.mode.EffectiveKind(gKind, hKind)
+		res = vm.mode.Access(vm.TLB, gva, eff, gKind, hKind, gpa)
 	}
-	res := vm.TLB.AccessNested(gva, eff, gKind, hKind, gpa)
 	cycles += res.Cycles
 	cycles += vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
 	return cycles
@@ -338,5 +388,6 @@ func (vm *VM) ResetGuestProcess() {
 	}
 	vm.Guest.Space = NewAddressSpace(64 * mem.HugeSize)
 	vm.Guest.Table = pagetable.New()
+	vm.armTranslation() // the fresh space needs the mode's growth hook
 	vm.TLB.FlushAll()
 }

@@ -172,9 +172,16 @@ func (vm *VM) wcFill(gva uint64) {
 		ent.epoch = 0
 		return
 	}
-	eff := mem.Base
-	if gKind == mem.Huge && hKind == mem.Huge {
-		eff = mem.Huge
+	var eff mem.PageSizeKind
+	if vm.radix {
+		eff = mem.Base
+		if gKind == mem.Huge && hKind == mem.Huge {
+			eff = mem.Huge
+		}
+	} else {
+		// Non-default modes own the entry-kind rule; the cached eff is
+		// replayed into mode.Access on every hit.
+		eff = vm.mode.EffectiveKind(gKind, hKind)
 	}
 	*ent = wcEntry{
 		tag:   gva >> mem.PageShift,

@@ -1,0 +1,26 @@
+package policy
+
+// The segmentation-based system (Teabe et al., "Memory virtualization
+// in virtualized systems: segmentation is better than paging",
+// PAPERS.md): guest memory is translated through a flat segment table
+// instead of nested radix walks, so a TLB miss costs one descriptor
+// read (depth-1) regardless of page sizes — huge pages buy nothing and
+// both layers run plain base-page policies — while growing the address
+// space pays a costly segment resize. The translation model itself
+// lives in machine.SegmentTranslation; this file only registers the
+// system that selects it.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sysreg"
+)
+
+func init() {
+	sysreg.Register(sysreg.SystemDef{
+		Name: "Segmentation", Rank: 13, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			return BaseOnly{}, BaseOnly{}
+		}),
+		NewTranslation: machine.NewSegmentTranslation,
+	})
+}

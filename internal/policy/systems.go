@@ -1,0 +1,80 @@
+package policy
+
+// Registry entries for the uncoordinated baseline systems: each of the
+// paper's seven non-Gemini systems is one SystemDef here, built from
+// this package's policies. Gemini and its ablations register from
+// package core, FHPM from fhpm.go, and the segmentation-mode system
+// from segmentation.go — the registry (package sysreg) is what lets
+// each of them live with its implementation instead of in a central
+// switch.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sysreg"
+)
+
+// uncoordinated wraps a policy-pair constructor into a SystemDef Build
+// hook (no coordinator).
+func uncoordinated(build func() (machine.Policy, machine.Policy)) func() (machine.Policy, machine.Policy, sysreg.Coordinator) {
+	return func() (machine.Policy, machine.Policy, sysreg.Coordinator) {
+		g, h := build()
+		return g, h, nil
+	}
+}
+
+func init() {
+	sysreg.Register(sysreg.SystemDef{
+		Name: "Host-B-VM-B", Rank: 0, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			return BaseOnly{}, BaseOnly{}
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "Misalignment", Rank: 1, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			// Guest strictly base pages; host runs THP so host huge
+			// pages form both synchronously and via khugepaged — all of
+			// them necessarily mis-aligned.
+			return BaseOnly{}, NewTHP(DefaultTHPParams())
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "THP", Rank: 2, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			return NewTHP(DefaultTHPParams()), NewTHP(DefaultTHPParams())
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "CA-paging", Rank: 3, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			return NewCAPaging(DefaultCAPagingParams()), NewCAPaging(DefaultCAPagingParams())
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "Trans-ranger", Rank: 4, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			return NewRanger(DefaultRangerParams()), NewRanger(DefaultRangerParams())
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "HawkEye", Rank: 5, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			// Utilization floors are scaled from the published values:
+			// the simulated measurement window touches each page only a
+			// handful of times, where a real run touches it thousands
+			// of times, so presence accumulates proportionally more
+			// slowly.
+			gp := DefaultHawkEyeParams()
+			gp.UtilThreshold = 192
+			return NewHawkEye(gp), NewHawkEye(gp)
+		}),
+	})
+	sysreg.Register(sysreg.SystemDef{
+		Name: "Ingens", Rank: 6, Figure: true,
+		Build: uncoordinated(func() (machine.Policy, machine.Policy) {
+			ip := DefaultIngensParams()
+			ip.UtilThreshold = 256 // see HawkEye note
+			return NewIngens(ip), NewIngens(ip)
+		}),
+	})
+}

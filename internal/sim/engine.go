@@ -30,11 +30,11 @@ import (
 	"fmt"
 
 	"repro/internal/audit"
-	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/sysreg"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -172,9 +172,9 @@ func (ec EngineConfig) Validate() error {
 		return fmt.Errorf("sim: FragTarget %v outside [0,1)", ec.FragTarget)
 	}
 	for i, vc := range ec.VMs {
-		if vc.System < 0 || vc.System >= numSystems {
+		if !sysreg.Valid(vc.System) {
 			return fmt.Errorf("sim: VM %d System %d out of range [0,%d)",
-				i, vc.System, int(numSystems))
+				i, int(vc.System), sysreg.Count())
 		}
 		if vc.GuestMemMB < 0 {
 			return fmt.Errorf("sim: VM %d negative memory size (guest %d MB)",
@@ -202,10 +202,10 @@ func (ec EngineConfig) Validate() error {
 
 // engineVM bundles one VM's live pieces and measurement accumulators.
 type engineVM struct {
-	cfg VMConfig
-	vm  *machine.VM
-	gp  machine.Policy
-	gem *core.Gemini
+	cfg   VMConfig
+	vm    *machine.VM
+	gp    machine.Policy
+	coord sysreg.Coordinator
 
 	w            *workload.Workload
 	lat          *metrics.Histogram
@@ -248,17 +248,18 @@ func NewEngine(cfg EngineConfig) *Engine {
 		m:   machine.NewMachine(hostPages, machine.DefaultCosts()),
 	}
 	for _, vc := range cfg.VMs {
-		gp, hp, gem := buildPolicies(vc.System)
+		gp, hp, coord := sysreg.Build(vc.System)
 		vm := e.m.AddVMSetup(machine.VMSetup{
 			GuestPages:  uint64(vc.GuestMemMB) << 20 >> mem.PageShift,
 			GuestPolicy: gp,
 			HostPolicy:  hp,
 			TLB:         tlb.DefaultConfig(),
+			Translation: sysreg.NewTranslation(vc.System),
 		})
-		if gem != nil {
-			gem.Attach(vm)
+		if coord != nil {
+			coord.Attach(vm)
 		}
-		e.vms = append(e.vms, &engineVM{cfg: vc, vm: vm, gp: gp, gem: gem})
+		e.vms = append(e.vms, &engineVM{cfg: vc, vm: vm, gp: gp, coord: coord})
 	}
 	e.rec = &recovery{every: cfg.RecoverEveryTicks}
 	if cfg.Trace != nil {
@@ -273,8 +274,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 		e.rec.auditEvery = cfg.AuditEvery
 		e.rec.auditors = []audit.Auditable{e.m}
 		for _, ev := range e.vms {
-			if ev.gem != nil {
-				e.rec.auditors = append(e.rec.auditors, ev.gem)
+			if a, ok := ev.coord.(audit.Auditable); ok {
+				e.rec.auditors = append(e.rec.auditors, a)
 			}
 		}
 	}

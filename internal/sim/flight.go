@@ -81,8 +81,8 @@ func (e *Engine) vmSample(i int, ev *engineVM) trace.Sample {
 		s.BucketReused = b.Reused
 		s.BucketTaken = b.Taken
 	}
-	if ev.gem != nil {
-		s.PromoterScans = ev.gem.ScanCount
+	if gem, ok := ev.coord.(*core.Gemini); ok {
+		s.PromoterScans = gem.ScanCount
 	}
 	return s
 }

@@ -16,95 +16,77 @@ import (
 	"fmt"
 
 	"repro/internal/audit"
-	"repro/internal/core"
+	_ "repro/internal/core" // registers GEMINI and its ablations
 	"repro/internal/frag"
 	"repro/internal/machine"
-	"repro/internal/mem"
-	"repro/internal/policy"
+	_ "repro/internal/policy" // registers the baselines, FHPM, Segmentation
+	"repro/internal/sysreg"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// System identifies one of the evaluated systems.
-type System int
+// System identifies one registered page-management system. The
+// registry (package sysreg) owns the name set and ordering; this
+// package only pins handles for the systems its tests and callers
+// reference by identifier.
+type System = sysreg.System
 
-// The eight systems of the paper's evaluation plus Gemini ablations.
-const (
+// SystemDef describes one registered system; new systems register one
+// from their own package (see sysreg.Register) and need no edits here.
+type SystemDef = sysreg.SystemDef
+
+// Registered system handles, in registry rank order. These resolve
+// after every imported package's registrations have run, so they are
+// ordinary package variables rather than constants.
+var (
 	// HostBVMB uses base pages at both layers.
-	HostBVMB System = iota
+	HostBVMB = sysreg.MustByName("Host-B-VM-B")
 	// Misalignment backs base-page guests with huge host pages only.
-	Misalignment
+	Misalignment = sysreg.MustByName("Misalignment")
 	// THP runs Linux transparent huge pages at both layers.
-	THP
+	THP = sysreg.MustByName("THP")
 	// CAPaging runs contiguity-aware paging at both layers.
-	CAPaging
+	CAPaging = sysreg.MustByName("CA-paging")
 	// Ranger runs Translation Ranger at both layers.
-	Ranger
+	Ranger = sysreg.MustByName("Trans-ranger")
 	// HawkEye runs HawkEye at both layers.
-	HawkEye
+	HawkEye = sysreg.MustByName("HawkEye")
 	// Ingens runs Ingens at both layers.
-	Ingens
+	Ingens = sysreg.MustByName("Ingens")
 	// Gemini is the paper's system.
-	Gemini
+	Gemini = sysreg.MustByName("GEMINI")
 	// GeminiNoBucket disables the huge bucket (EMA/HB only), the
 	// first half of the Figure 16 breakdown.
-	GeminiNoBucket
+	GeminiNoBucket = sysreg.MustByName("GEMINI-EMA/HB")
 	// GeminiBucketOnly disables EMA/HB/promoter (bucket only), the
 	// second half of the Figure 16 breakdown.
-	GeminiBucketOnly
+	GeminiBucketOnly = sysreg.MustByName("GEMINI-bucket")
 	// GeminiStaticTimeout freezes the booking timeout (ablation).
-	GeminiStaticTimeout
+	GeminiStaticTimeout = sysreg.MustByName("GEMINI-static-timeout")
 	// GeminiNoPrealloc disables huge preallocation (ablation).
-	GeminiNoPrealloc
-	numSystems
+	GeminiNoPrealloc = sysreg.MustByName("GEMINI-no-prealloc")
+	// FHPM promotes at fine subregion granularity in the guest and
+	// drives host coalescing explicitly (Li et al., PAPERS.md).
+	FHPM = sysreg.MustByName("FHPM")
+	// Segmentation translates through a flat segment table: depth-1
+	// walks, costly VMA growth (Teabe et al., PAPERS.md).
+	Segmentation = sysreg.MustByName("Segmentation")
 )
 
-// Systems lists the paper's eight evaluated systems in figure order.
-func Systems() []System {
-	return []System{HostBVMB, Misalignment, THP, CAPaging, Ranger, HawkEye, Ingens, Gemini}
-}
+// Systems lists the evaluated figure systems in registry rank order:
+// the paper's eight plus every figure system registered since.
+func Systems() []System { return sysreg.Figure() }
 
-// String returns the system's display name.
-func (s System) String() string {
-	switch s {
-	case HostBVMB:
-		return "Host-B-VM-B"
-	case Misalignment:
-		return "Misalignment"
-	case THP:
-		return "THP"
-	case CAPaging:
-		return "CA-paging"
-	case Ranger:
-		return "Trans-ranger"
-	case HawkEye:
-		return "HawkEye"
-	case Ingens:
-		return "Ingens"
-	case Gemini:
-		return "GEMINI"
-	case GeminiNoBucket:
-		return "GEMINI-EMA/HB"
-	case GeminiBucketOnly:
-		return "GEMINI-bucket"
-	case GeminiStaticTimeout:
-		return "GEMINI-static-timeout"
-	case GeminiNoPrealloc:
-		return "GEMINI-no-prealloc"
-	default:
-		return fmt.Sprintf("System(%d)", int(s))
-	}
-}
+// AllSystems lists every registered system, ablations included.
+func AllSystems() []System { return sysreg.All() }
 
-// SystemByName resolves a display name.
-func SystemByName(name string) (System, error) {
-	for s := System(0); s < numSystems; s++ {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("sim: unknown system %q", name)
-}
+// SystemByName resolves a display name; unknown names get an error
+// listing every valid name.
+func SystemByName(name string) (System, error) { return sysreg.ByName(name) }
+
+// Def returns a registered system's definition (for metadata such as
+// Coordinated). Panics on out-of-range systems; gate with ValidSystem.
+func Def(sys System) SystemDef { return sysreg.Def(sys) }
 
 // Config describes one experiment run.
 type Config struct {
@@ -185,8 +167,8 @@ func (c Config) withDefaults() Config {
 // experiment. Run panics on an invalid configuration; callers wanting
 // an error instead should Validate first.
 func (c Config) Validate() error {
-	if c.System < 0 || c.System >= numSystems {
-		return fmt.Errorf("sim: System %d out of range [0,%d)", c.System, int(numSystems))
+	if !sysreg.Valid(c.System) {
+		return fmt.Errorf("sim: System %d out of range [0,%d)", int(c.System), sysreg.Count())
 	}
 	if c.Requests < 0 || c.WarmupRequests < 0 || c.RequestsPerTick < 0 ||
 		c.RecoverEveryTicks < 0 || c.AuditEvery < 0 {
@@ -258,70 +240,24 @@ type Result struct {
 	Events   []trace.Event
 }
 
-// buildPolicies constructs the per-layer policies for a system. The
-// returned Gemini coordinator is nil for non-Gemini systems.
-func buildPolicies(sys System) (machine.Policy, machine.Policy, *core.Gemini) {
-	switch sys {
-	case HostBVMB:
-		return policy.BaseOnly{}, policy.BaseOnly{}, nil
-	case Misalignment:
-		// Guest strictly base pages; host runs THP so host huge pages
-		// form both synchronously and via khugepaged — all of them
-		// necessarily mis-aligned.
-		return policy.BaseOnly{}, policy.NewTHP(policy.DefaultTHPParams()), nil
-	case THP:
-		return policy.NewTHP(policy.DefaultTHPParams()),
-			policy.NewTHP(policy.DefaultTHPParams()), nil
-	case CAPaging:
-		return policy.NewCAPaging(policy.DefaultCAPagingParams()),
-			policy.NewCAPaging(policy.DefaultCAPagingParams()), nil
-	case Ranger:
-		return policy.NewRanger(policy.DefaultRangerParams()),
-			policy.NewRanger(policy.DefaultRangerParams()), nil
-	case HawkEye:
-		// Utilization floors are scaled from the published values:
-		// the simulated measurement window touches each page only a
-		// handful of times, where a real run touches it thousands of
-		// times, so presence accumulates proportionally more slowly.
-		gp := policy.DefaultHawkEyeParams()
-		gp.UtilThreshold = 192
-		return policy.NewHawkEye(gp), policy.NewHawkEye(gp), nil
-	case Ingens:
-		ip := policy.DefaultIngensParams()
-		ip.UtilThreshold = 256 // see HawkEye note
-		return policy.NewIngens(ip), policy.NewIngens(ip), nil
-	case Gemini:
-		g, gp, hp := core.New(core.Config{})
-		return gp, hp, g
-	case GeminiNoBucket:
-		g, gp, hp := core.New(core.Config{DisableBucket: true})
-		return gp, hp, g
-	case GeminiBucketOnly:
-		g, gp, hp := core.New(core.Config{DisableBooking: true, DisablePromoter: true})
-		return gp, hp, g
-	case GeminiStaticTimeout:
-		g, gp, hp := core.New(core.Config{DisableAdaptiveTimeout: true})
-		return gp, hp, g
-	case GeminiNoPrealloc:
-		g, gp, hp := core.New(core.Config{PreallocThreshold: mem.PagesPerHuge + 1})
-		return gp, hp, g
-	default:
-		panic(fmt.Sprintf("sim: unknown system %v", sys))
-	}
+// BuildPolicies constructs the per-layer policies for a system: the
+// guest-layer policy, the host (EPT) layer policy, and the system's
+// coordinator (nil for uncoordinated systems; when non-nil the caller
+// must Attach it to the VM after AddVM). The fleet layer uses this to
+// stand up per-system policy stacks for VMs it places on hosts outside
+// an Engine. Panics on an out-of-range system; gate with ValidSystem.
+func BuildPolicies(sys System) (guest, host machine.Policy, coord sysreg.Coordinator) {
+	return sysreg.Build(sys)
 }
 
-// BuildPolicies constructs the per-layer policies for a system: the
-// guest-layer policy, the host (EPT) layer policy, and the Gemini
-// coordinator (nil for non-Gemini systems; when non-nil the caller must
-// Attach it to the VM after AddVM). The fleet layer uses this to stand
-// up per-system policy stacks for VMs it places on hosts outside an
-// Engine. Panics on an out-of-range system; gate with ValidSystem.
-func BuildPolicies(sys System) (guest, host machine.Policy, gem *core.Gemini) {
-	return buildPolicies(sys)
+// NewTranslation constructs the system's translation mode (nil selects
+// the machine layer's default nested radix walk).
+func NewTranslation(sys System) machine.TranslationMode {
+	return sysreg.NewTranslation(sys)
 }
 
 // ValidSystem reports whether sys names a system under test.
-func ValidSystem(sys System) bool { return sys >= 0 && sys < numSystems }
+func ValidSystem(sys System) bool { return sysreg.Valid(sys) }
 
 // engineConfig translates a single-VM Config into its EngineConfig.
 // VM 0's derived seed streams coincide with the historic single-VM

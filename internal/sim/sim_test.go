@@ -21,7 +21,7 @@ func smallCfg(sys System, spec workload.Spec) Config {
 }
 
 func TestSystemNames(t *testing.T) {
-	for s := System(0); s < numSystems; s++ {
+	for _, s := range AllSystems() {
 		name := s.String()
 		if name == "" {
 			t.Fatalf("system %d has empty name", s)
@@ -37,7 +37,7 @@ func TestSystemNames(t *testing.T) {
 	if System(99).String() == "" {
 		t.Fatal("unknown system empty string")
 	}
-	if len(Systems()) != 8 {
+	if len(Systems()) != 10 {
 		t.Fatalf("Systems() = %d entries", len(Systems()))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sysreg"
 	"repro/internal/workload"
 )
 
@@ -24,7 +25,7 @@ func TestConfigValidateRejections(t *testing.T) {
 		wantSub string
 	}{
 		{"system-negative", func(c *Config) { c.System = -1 }, "out of range"},
-		{"system-past-end", func(c *Config) { c.System = numSystems }, "out of range"},
+		{"system-past-end", func(c *Config) { c.System = System(sysreg.Count()) }, "out of range"},
 		{"negative-requests", func(c *Config) { c.Requests = -1 }, "negative pacing"},
 		{"negative-warmup", func(c *Config) { c.WarmupRequests = -5 }, "negative pacing"},
 		{"negative-requests-per-tick", func(c *Config) { c.RequestsPerTick = -2 }, "negative pacing"},
@@ -68,7 +69,7 @@ func TestColocatedConfigValidate(t *testing.T) {
 		t.Fatal("Validate accepted a colocated config with an unnamed workload B")
 	}
 	bad = cc
-	bad.System = numSystems
+	bad.System = System(sysreg.Count())
 	if err := bad.Validate(); err == nil {
 		t.Fatal("Validate accepted an out-of-range system")
 	}

@@ -1,0 +1,217 @@
+// Package sysreg is the pluggable page-management system registry:
+// every evaluated system — the paper's baselines, Gemini and its
+// ablations, and later additions such as FHPM and segmentation-mode
+// translation — registers a SystemDef from the package that implements
+// it, and every consumer (the sim engine, the fleet layer, paperbench,
+// the CLIs) derives its system lists from the registry instead of a
+// central enum-plus-switches. Adding a system is one new file plus one
+// Register call; no switch anywhere needs editing.
+//
+// Registration happens in package init functions, whose relative order
+// across independent packages Go does not pin, so each SystemDef
+// carries an explicit Rank and the registry orders by it: System
+// values are indices into the rank-sorted definition list and are
+// therefore stable regardless of import order. The registry freezes on
+// first query; a Register after that panics, which catches a package
+// registering from anywhere but init.
+//
+// See DESIGN.md §2 (system inventory) for every registered system's
+// paper provenance and parameters.
+package sysreg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Coordinator is the optional cross-layer coordination hook a system
+// may run alongside its two layer policies (Gemini's coordinator,
+// FHPM's guest-to-host promotion queue). The builder returns it
+// unattached; whoever boots the VM must Attach it once the VM exists.
+// Coordinators that also implement audit.Auditable are included in the
+// periodic invariant audit by the engine and fleet layers.
+type Coordinator interface {
+	// Attach binds the coordinator to the VM it manages.
+	Attach(vm *machine.VM)
+}
+
+// SystemDef describes one page-management system under test.
+type SystemDef struct {
+	// Name is the display name ("GEMINI", "THP", ...), unique across
+	// the registry; results and CLI flags use it.
+	Name string
+	// Rank orders the registry: figure systems first in the paper's
+	// figure order, then ablations. Unique across the registry.
+	Rank int
+	// Figure includes the system in Systems(), the list every figure
+	// sweep runs. Ablations leave it false and appear only in All().
+	Figure bool
+	// Coordinated marks systems that coordinate the two layers
+	// (Gemini, FHPM). Fidelity tests use it to scope "Gemini beats
+	// every uncoordinated system" claims.
+	Coordinated bool
+	// Build constructs a fresh guest policy, host (EPT) policy, and
+	// optional coordinator (nil for uncoordinated systems) for one VM.
+	Build func() (guest, host machine.Policy, coord Coordinator)
+	// NewTranslation, when non-nil, constructs the VM's translation
+	// mode. Nil selects the default nested radix walk.
+	NewTranslation func() machine.TranslationMode
+}
+
+// System identifies one registered system: its index in the
+// rank-sorted registry. The zero value is the lowest-ranked system.
+type System int
+
+var (
+	mu     sync.Mutex
+	defs   []SystemDef
+	frozen bool
+)
+
+// Register adds a system definition. It must be called from a package
+// init function; registering after the registry has been queried (or
+// with a duplicate name or rank, or without a Build hook) panics.
+func Register(d SystemDef) {
+	mu.Lock()
+	defer mu.Unlock()
+	if frozen {
+		panic(fmt.Sprintf("sysreg: Register(%q) after the registry was queried; register from init()", d.Name))
+	}
+	if d.Name == "" || d.Build == nil {
+		panic(fmt.Sprintf("sysreg: Register of incomplete definition %+v", d))
+	}
+	for _, e := range defs {
+		if e.Name == d.Name {
+			panic(fmt.Sprintf("sysreg: duplicate system name %q", d.Name))
+		}
+		if e.Rank == d.Rank {
+			panic(fmt.Sprintf("sysreg: systems %q and %q share rank %d", e.Name, d.Name, d.Rank))
+		}
+	}
+	defs = append(defs, d)
+}
+
+// freezeLocked sorts the registry by rank and closes it to further
+// registration. Callers hold mu.
+func freezeLocked() {
+	if frozen {
+		return
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Rank < defs[j].Rank })
+	frozen = true
+}
+
+// snapshot freezes the registry and returns the ordered definitions.
+func snapshot() []SystemDef {
+	mu.Lock()
+	defer mu.Unlock()
+	freezeLocked()
+	return defs
+}
+
+// Count returns the number of registered systems.
+func Count() int { return len(snapshot()) }
+
+// Valid reports whether s names a registered system.
+func Valid(s System) bool { return s >= 0 && int(s) < Count() }
+
+// Def returns the definition of a registered system. It panics on an
+// out-of-range System; gate with Valid.
+func Def(s System) SystemDef {
+	ds := snapshot()
+	if s < 0 || int(s) >= len(ds) {
+		panic(fmt.Sprintf("sysreg: Def of unregistered system %d", int(s)))
+	}
+	return ds[s]
+}
+
+// All returns every registered system in rank order, ablations
+// included.
+func All() []System {
+	out := make([]System, len(snapshot()))
+	for i := range out {
+		out[i] = System(i)
+	}
+	return out
+}
+
+// Figure returns the figure systems in rank order: the list every
+// figure sweep runs.
+func Figure() []System {
+	var out []System
+	for i, d := range snapshot() {
+		if d.Figure {
+			out = append(out, System(i))
+		}
+	}
+	return out
+}
+
+// Names returns the display names of the given systems.
+func Names(systems []System) []string {
+	out := make([]string, len(systems))
+	for i, s := range systems {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// String returns the system's display name, or "System(i)" for an
+// unregistered value.
+func (s System) String() string {
+	ds := snapshot()
+	if s < 0 || int(s) >= len(ds) {
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+	return ds[s].Name
+}
+
+// ByName resolves a display name. Unknown names produce an error
+// listing every valid name.
+func ByName(name string) (System, error) {
+	ds := snapshot()
+	for i, d := range ds {
+		if d.Name == name {
+			return System(i), nil
+		}
+	}
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return 0, fmt.Errorf("sysreg: unknown system %q (valid: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// MustByName resolves a display name, panicking on failure. Packages
+// use it to bind package-level System handles after their imports'
+// registrations have run.
+func MustByName(name string) System {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Build constructs a fresh policy stack for one VM of the system:
+// guest policy, host (EPT) policy, and the coordinator (nil for
+// uncoordinated systems; when non-nil the caller must Attach it to the
+// VM after the VM is built). Panics on an unregistered system.
+func Build(s System) (guest, host machine.Policy, coord Coordinator) {
+	return Def(s).Build()
+}
+
+// NewTranslation constructs the system's translation mode, or nil for
+// the default nested radix walk. Panics on an unregistered system.
+func NewTranslation(s System) machine.TranslationMode {
+	d := Def(s)
+	if d.NewTranslation == nil {
+		return nil
+	}
+	return d.NewTranslation()
+}

@@ -1,0 +1,138 @@
+package sysreg
+
+// The registry is a per-binary global, and this test binary imports no
+// implementing package, so the tests own it outright: they register a
+// fake inventory and then exercise ordering, lookup, and the freeze
+// discipline in one sequential test (the phases share the registry's
+// one-way freeze transition, so they cannot be separate test
+// functions).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// nopPolicy is the minimal machine.Policy for fake registrations.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string { return "nop" }
+func (nopPolicy) OnFault(*machine.Layer, uint64, *machine.VMA) machine.Decision {
+	return machine.Decision{Kind: mem.Base}
+}
+func (nopPolicy) Tick(*machine.Layer) {}
+
+// nopCoord is the minimal Coordinator.
+type nopCoord struct{ attached *machine.VM }
+
+func (c *nopCoord) Attach(vm *machine.VM) { c.attached = vm }
+
+func fakeDef(name string, rank int, figure bool) SystemDef {
+	return SystemDef{
+		Name: name, Rank: rank, Figure: figure,
+		Build: func() (machine.Policy, machine.Policy, Coordinator) {
+			return nopPolicy{}, nopPolicy{}, nil
+		},
+	}
+}
+
+// mustPanic runs fn and fails unless it panics with a message
+// containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one mentioning %q)", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegistry(t *testing.T) {
+	// Phase 1: registration, out of rank order on purpose — the
+	// registry must sort, not trust init order.
+	Register(fakeDef("beta", 1, true))
+	Register(fakeDef("alpha", 0, true))
+	Register(SystemDef{
+		Name: "gamma", Rank: 2, Coordinated: true,
+		Build: func() (machine.Policy, machine.Policy, Coordinator) {
+			return nopPolicy{}, nopPolicy{}, &nopCoord{}
+		},
+		NewTranslation: machine.NewSegmentTranslation,
+	})
+
+	// Phase 2: registration-time rejections, before any query freezes.
+	mustPanic(t, "duplicate system name", func() { Register(fakeDef("alpha", 9, false)) })
+	mustPanic(t, "share rank", func() { Register(fakeDef("delta", 1, false)) })
+	mustPanic(t, "incomplete", func() { Register(SystemDef{Name: "nobuild", Rank: 9}) })
+	mustPanic(t, "incomplete", func() {
+		Register(SystemDef{Rank: 10, Build: fakeDef("x", 0, false).Build})
+	})
+
+	// Phase 3: queries. The first one freezes and rank-sorts.
+	if Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", Count())
+	}
+	wantOrder := []string{"alpha", "beta", "gamma"}
+	for i, want := range wantOrder {
+		if got := System(i).String(); got != want {
+			t.Errorf("System(%d) = %q, want %q (rank order)", i, got, want)
+		}
+	}
+	for _, s := range All() {
+		got, err := ByName(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, err %v", s, got, err)
+		}
+	}
+	if !Valid(0) || !Valid(2) || Valid(-1) || Valid(3) {
+		t.Error("Valid range wrong")
+	}
+	if System(-1).String() != "System(-1)" || System(99).String() != "System(99)" {
+		t.Error("out-of-range String fallback wrong")
+	}
+	if got := Names(All()); len(got) != 3 || got[0] != "alpha" || got[2] != "gamma" {
+		t.Errorf("Names = %v", got)
+	}
+	if fig := Figure(); len(fig) != 2 || fig[0].String() != "alpha" || fig[1].String() != "beta" {
+		t.Errorf("Figure = %v (gamma is not a figure system)", Names(fig))
+	}
+
+	// ByName errors must list every valid name (did-you-mean).
+	_, err := ByName("bogus")
+	if err == nil {
+		t.Fatal("ByName(bogus) resolved")
+	}
+	for _, name := range wantOrder {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid name %q", err, name)
+		}
+	}
+	mustPanic(t, "unknown system", func() { MustByName("bogus") })
+
+	// Def / Build / NewTranslation surface the registered hooks.
+	if d := Def(MustByName("gamma")); !d.Coordinated || d.NewTranslation == nil {
+		t.Errorf("gamma def lost fields: %+v", d)
+	}
+	g, h, coord := Build(MustByName("gamma"))
+	if g == nil || h == nil || coord == nil {
+		t.Fatal("gamma Build returned nils")
+	}
+	if tr := NewTranslation(MustByName("gamma")); tr == nil || tr.Name() == "" {
+		t.Error("gamma NewTranslation nil or unnamed")
+	}
+	if tr := NewTranslation(MustByName("alpha")); tr != nil {
+		t.Errorf("alpha NewTranslation = %v, want nil (default radix)", tr)
+	}
+	mustPanic(t, "unregistered", func() { Def(System(7)) })
+
+	// Phase 4: the registry is now frozen; late registration panics.
+	mustPanic(t, "after the registry was queried", func() { Register(fakeDef("late", 42, false)) })
+}

@@ -1,0 +1,91 @@
+package tlb
+
+// Tests pinning the segment-mode access path (DESIGN.md §7): a miss is
+// a depth-1 walk — exactly one memory reference, no page-walk cache
+// involvement — and the Misses4K/Misses2M split still reflects the
+// effective entry kind, because segmentation changes how a translation
+// is found, not what the TLB caches.
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestAccessSegmentMissCharges(t *testing.T) {
+	tl := New(DefaultConfig())
+	res := tl.AccessSegment(0, mem.Base)
+	if !res.Miss {
+		t.Fatal("first access hit an empty TLB")
+	}
+	want := tl.cfg.HitCycles + tl.cfg.MemRefCycles
+	if res.Cycles != want {
+		t.Fatalf("segment miss cost %d cycles, want %d (hit + one descriptor read)", res.Cycles, want)
+	}
+	if res.Refs != 1 {
+		t.Fatalf("segment miss charged %d refs, want 1 (depth-1 walk)", res.Refs)
+	}
+}
+
+func TestAccessSegmentStats(t *testing.T) {
+	tl := New(DefaultConfig())
+	const n4k, n2m = 7, 3
+	for i := 0; i < n4k; i++ {
+		tl.AccessSegment(uint64(i)*mem.PageSize, mem.Base)
+	}
+	for i := 0; i < n2m; i++ {
+		tl.AccessSegment(uint64(i)*mem.HugeSize, mem.Huge)
+	}
+	s := tl.Stats()
+	if s.Misses != n4k+n2m || s.Hits != 0 {
+		t.Fatalf("misses=%d hits=%d, want %d/0", s.Misses, s.Hits, n4k+n2m)
+	}
+	if s.Misses4K != n4k || s.Misses2M != n2m {
+		t.Fatalf("miss split 4K=%d 2M=%d, want %d/%d", s.Misses4K, s.Misses2M, n4k, n2m)
+	}
+	if s.SegmentWalks != n4k+n2m {
+		t.Fatalf("SegmentWalks=%d, want %d", s.SegmentWalks, n4k+n2m)
+	}
+	// Depth-1: one memory reference per miss, and the PWCs never probed.
+	if s.WalkRefs != n4k+n2m {
+		t.Fatalf("WalkRefs=%d, want %d (one per miss)", s.WalkRefs, n4k+n2m)
+	}
+	if s.PWCHits != 0 || s.PWCMisses != 0 {
+		t.Fatalf("PWC touched on the segment path: hits=%d misses=%d", s.PWCHits, s.PWCMisses)
+	}
+	if s.NestedWalks != 0 {
+		t.Fatalf("NestedWalks=%d on the segment path", s.NestedWalks)
+	}
+	wantCycles := (n4k + n2m) * (tl.cfg.HitCycles + tl.cfg.MemRefCycles)
+	if s.WalkCycles != wantCycles {
+		t.Fatalf("WalkCycles=%d, want %d", s.WalkCycles, wantCycles)
+	}
+}
+
+func TestAccessSegmentHitsAfterFill(t *testing.T) {
+	tl := New(DefaultConfig())
+	tl.AccessSegment(0, mem.Base)
+	res := tl.AccessSegment(0, mem.Base)
+	if res.Miss {
+		t.Fatal("second access missed")
+	}
+	if res.Cycles != tl.cfg.HitCycles {
+		t.Fatalf("hit cost %d, want %d", res.Cycles, tl.cfg.HitCycles)
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.SegmentWalks != 1 {
+		t.Fatalf("stats after hit: %+v", s)
+	}
+}
+
+func TestAccessSegmentHugeReach(t *testing.T) {
+	// A huge segment entry covers its whole 2 MiB region: base-page
+	// strides inside it hit.
+	tl := New(DefaultConfig())
+	tl.AccessSegment(0, mem.Huge)
+	for off := uint64(mem.PageSize); off < mem.HugeSize; off += mem.PageSize * 64 {
+		if res := tl.AccessSegment(off, mem.Huge); res.Miss {
+			t.Fatalf("offset %#x missed inside a huge segment entry", off)
+		}
+	}
+}

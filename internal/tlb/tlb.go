@@ -59,20 +59,21 @@ func DefaultConfig() Config {
 
 // Stats aggregates TLB behaviour over a run.
 type Stats struct {
-	Hits        uint64
-	Misses      uint64
-	WalkCycles  uint64 // total cycles spent in page walks
-	WalkRefs    uint64 // total page-table memory references
-	Evictions   uint64
-	Flushes     uint64 // entries removed by shootdowns
-	Insert4K    uint64
-	Insert2M    uint64
-	Misses4K    uint64 // misses refilled with a 4 KiB entry
-	Misses2M    uint64 // misses refilled with a 2 MiB entry
-	PWCHits     uint64
-	PWCMisses   uint64
-	NestedWalks uint64
-	NativeWalks uint64
+	Hits         uint64
+	Misses       uint64
+	WalkCycles   uint64 // total cycles spent in page walks
+	WalkRefs     uint64 // total page-table memory references
+	Evictions    uint64
+	Flushes      uint64 // entries removed by shootdowns
+	Insert4K     uint64
+	Insert2M     uint64
+	Misses4K     uint64 // misses refilled with a 4 KiB entry
+	Misses2M     uint64 // misses refilled with a 2 MiB entry
+	PWCHits      uint64
+	PWCMisses    uint64
+	NestedWalks  uint64
+	NativeWalks  uint64
+	SegmentWalks uint64 // depth-1 segment-mode walks (no PWC involvement)
 }
 
 // MissRate returns misses/(hits+misses), or 0 for an idle TLB.
@@ -395,6 +396,30 @@ func (t *TLB) AccessNative(va uint64, kind mem.PageSizeKind) AccessResult {
 	refs := t.NativeWalkRefs(va, kind)
 	cycles := t.cfg.HitCycles + uint64(refs)*t.cfg.MemRefCycles
 	t.stats.WalkRefs += uint64(refs)
+	t.stats.WalkCycles += cycles
+	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
+}
+
+// AccessSegment performs one segment-mode translation (the flat
+// segment table of machine.SegmentTranslation): probe, and on a miss
+// charge a depth-1 walk — a single segment-descriptor reference — and
+// install an entry of the permitted kind. Segment lookups never touch
+// the page-walk caches, so PWCHits/PWCMisses stay flat on this path.
+func (t *TLB) AccessSegment(va uint64, effKind mem.PageSizeKind) AccessResult {
+	if t.probeInsert(va, effKind) {
+		t.stats.Hits++
+		return AccessResult{Cycles: t.cfg.HitCycles}
+	}
+	t.stats.Misses++
+	if effKind == mem.Huge {
+		t.stats.Misses2M++
+	} else {
+		t.stats.Misses4K++
+	}
+	t.stats.SegmentWalks++
+	const refs = 1
+	cycles := t.cfg.HitCycles + refs*t.cfg.MemRefCycles
+	t.stats.WalkRefs += refs
 	t.stats.WalkCycles += cycles
 	return AccessResult{Cycles: cycles, Miss: true, Refs: refs}
 }
