@@ -12,7 +12,8 @@
 //	         [-seed 1] [-requests-per-tick 4] [-drain 32]
 //	         [-rebalance-every 32] [-rebalance-gap 0.25]
 //	         [-audit] [-parallel N]
-//	         [-trace FILE] [-series FILE] [-sample-every N]
+//	         [-trace FILE] [-series FILE] [-sample-every N] [-stream]
+//	         [-progress] [-runstats] [-serve ADDR [-serve-linger D]]
 //	         [-json FILE] [-validate-json FILE]
 //
 // Everything printed to stdout is deterministic for a seed (timings go
@@ -21,18 +22,29 @@
 // as a validated paperbench/v1 report (one fleet-wide cell plus one
 // per host); -validate-json FILE checks an existing report and exits.
 // With -trace/-series the per-host flight-recorder shards are merged
-// in host order and written as JSONL events and CSV series.
+// in host order and written as JSONL events and CSV series; adding
+// -stream writes both files incrementally during the run.
+//
+// Live telemetry (stderr/HTTP only; stdout stays byte-identical):
+// -progress prints throttled tick-level progress with the resident
+// population and an ETA; -runstats profiles the run (wall time,
+// fleet ticks/sec, allocations, peak heap) and embeds a "runstats"
+// section in the -json report; -serve ADDR exposes /metrics
+// (Prometheus text), /debug/vars, and /debug/pprof while the fleet
+// runs (plus -serve-linger afterwards).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"repro"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +68,11 @@ func main() {
 	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
 	jsonOut := flag.String("json", "", "write the run as a paperbench/v1 JSON report to FILE")
 	validateJSON := flag.String("validate-json", "", "validate an existing paperbench/v1 JSON report and exit")
+	stream := flag.Bool("stream", false, "stream -trace/-series files incrementally during the run instead of writing at the end")
+	progress := flag.Bool("progress", false, "print live tick-level progress with ETA to stderr")
+	runstats := flag.Bool("runstats", false, "profile the run (wall time, ticks/sec, allocs), print the table to stderr, and embed it in the -json report")
+	serveAddr := flag.String("serve", "", "serve live /metrics, /debug/vars, and /debug/pprof on ADDR for the run's duration")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	flag.Parse()
 
 	if *validateJSON != "" {
@@ -95,6 +112,76 @@ func main() {
 		cfg.Trace = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
 	}
 
+	// Streaming mode: attach the trace files as the recorder's live sink
+	// before the fleet boots, so the per-host shards spool and splice
+	// incrementally instead of holding everything to the end.
+	var streamEvents, streamSeries *os.File
+	if *stream {
+		if cfg.Trace == nil {
+			fmt.Fprintln(os.Stderr, "-stream requires -trace and/or -series")
+			os.Exit(1)
+		}
+		var ev, sm io.Writer
+		if *traceOut != "" {
+			streamEvents = createFile(*traceOut)
+			ev = streamEvents
+		}
+		if *seriesOut != "" {
+			streamSeries = createFile(*seriesOut)
+			sm = streamSeries
+		}
+		if err := cfg.Trace.StreamTo(ev, sm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	// Telemetry: tick-level progress, run profiling, and the opt-in
+	// metrics/pprof endpoint, all fed by the fleet's OnTick hook.
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr, "fleetsim")
+	} else if *serveAddr != "" {
+		prog = telemetry.NewProgress(nil, "fleetsim")
+	}
+	var stats *telemetry.Collector
+	var stopWatch func()
+	if *runstats || *serveAddr != "" {
+		stats = telemetry.NewCollector()
+		stopWatch = stats.StartHeapWatch(0)
+	}
+	var srv *telemetry.Server
+	var metrics *telemetry.Metrics
+	var residentG, placedG, rejectedG, migrationsG *telemetry.Gauge
+	if *serveAddr != "" {
+		metrics = telemetry.NewMetrics()
+		metrics.GaugeFunc("fleetsim_ticks_done", func() float64 { return float64(prog.Ticks()) })
+		residentG = metrics.Gauge("fleetsim_resident_vms")
+		placedG = metrics.Gauge("fleetsim_placed")
+		rejectedG = metrics.Gauge("fleetsim_rejected")
+		migrationsG = metrics.Gauge("fleetsim_migrations")
+		metrics.GaugeFunc("fleetsim_peak_heap_bytes", func() float64 { return float64(stats.PeakHeap()) })
+		var err error
+		if srv, err = telemetry.Serve(*serveAddr, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (and /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	if prog != nil {
+		cfg.OnTick = func(ti repro.FleetTickInfo) {
+			if residentG != nil {
+				residentG.Set(float64(ti.Resident))
+				placedG.Set(float64(ti.Placed))
+				rejectedG.Set(float64(ti.Rejected))
+				migrationsG.Set(float64(ti.Migrations))
+			}
+			prog.Tick(ti.Tick, ti.Horizon, fmt.Sprintf(
+				"resident=%d placed=%d rejected=%d migrations=%d",
+				ti.Resident, ti.Placed, ti.Rejected, ti.Migrations))
+		}
+	}
+
 	// Stamp the output with its generating command so captured reports
 	// record how to regenerate them. -parallel and -audit are omitted:
 	// neither changes a byte of the result.
@@ -103,21 +190,58 @@ func main() {
 		*hosts, *hostCPU, *hostMem, *arrivals, *meanGap, *meanLife, *policy, *system, *seed)
 
 	t0 := time.Now()
+	var cell *telemetry.Cell
+	if stats != nil {
+		cell = stats.StartCell(fmt.Sprintf("fleet %s × %s", *policy, *system))
+	}
 	res, err := repro.RunFleet(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if cell != nil {
+		cell.Done(res.Ticks)
+	}
+	if stopWatch != nil {
+		stopWatch()
+	}
 	fmt.Fprintf(os.Stderr, "[fleet took %.1fs]\n", time.Since(t0).Seconds())
 	fmt.Print(res.Format())
 
+	report := repro.NewBenchReport(repro.Options{Seed: *seed})
+	report.Add("fleet", repro.FleetCells(res))
+	if stats != nil {
+		report.SetRunStats(stats)
+	}
+	if cfg.Trace != nil {
+		report.SetTraceInfo(len(res.Events), len(res.Timeline), res.Dropped, cfg.Trace.Stride(), *stream)
+		if metrics != nil {
+			metrics.Gauge("fleetsim_trace_dropped_events").Set(float64(res.Dropped))
+			metrics.Gauge("fleetsim_trace_sampler_stride").Set(float64(cfg.Trace.Stride()))
+		}
+	}
 	if *jsonOut != "" {
-		report := repro.NewBenchReport(repro.Options{Seed: *seed})
-		report.Add("fleet", repro.FleetCells(res))
 		writeReport(report, *jsonOut)
 	}
 	if cfg.Trace != nil {
-		writeTrace(res, *traceOut, *seriesOut)
+		if *stream {
+			finishStream(cfg.Trace, res, *traceOut, *seriesOut, streamEvents, streamSeries)
+		} else {
+			writeTrace(res, *traceOut, *seriesOut)
+		}
+	}
+	if *runstats {
+		fmt.Fprint(os.Stderr, report.RunStats.Format())
+	}
+	for _, w := range report.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s\n", *serveLinger, srv.Addr())
+			time.Sleep(*serveLinger)
+		}
+		srv.Close()
 	}
 }
 
@@ -139,6 +263,9 @@ func validateReport(path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: valid %s report, %d figures\n", path, r.Schema, len(r.Figures))
+	for _, w := range r.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s: %s\n", path, w)
+	}
 }
 
 // writeReport validates and writes the JSON report; an invalid report
@@ -166,18 +293,47 @@ func writeTrace(res repro.FleetResult, tracePath, seriesPath string) {
 		})
 		fmt.Printf("wrote %d samples to %s\n", len(res.Timeline), seriesPath)
 	}
-	if res.Dropped > 0 {
-		fmt.Fprintf(os.Stderr, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", res.Dropped)
-	}
+	telemetry.WarnDropped(os.Stderr, res.Dropped)
 }
 
-func writeFile(path string, write func(*os.File) error) {
+// finishStream closes out a streamed trace, printing the same stdout
+// summary lines writeTrace prints so -stream never changes stdout.
+func finishStream(rec *repro.TraceRecorder, res repro.FleetResult, tracePath, seriesPath string, eventsF, seriesF *os.File) {
+	if err := rec.FlushStream(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range []*os.File{eventsF, seriesF} {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		fmt.Printf("wrote %d events to %s\n", len(res.Events), tracePath)
+	}
+	if seriesPath != "" {
+		fmt.Printf("wrote %d samples to %s\n", len(res.Timeline), seriesPath)
+	}
+	telemetry.WarnDropped(os.Stderr, res.Dropped)
+}
+
+func createFile(path string) *os.File {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := write(f); err == nil {
+	return f
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f := createFile(path)
+	err := write(f)
+	if err == nil {
 		err = f.Close()
 	} else {
 		f.Close()

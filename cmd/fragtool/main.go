@@ -8,12 +8,19 @@
 //
 //	fragtool [-mem 1024] [-target 0.9] [-consume 0.5] [-seed 1] [-recover 16]
 //	fragtool -series FILE
+//	fragtool -runstats REPORT.json
 //
 // With -series FILE the tool instead summarizes a flight-recorder
 // sample series (the CSV written by geminisim/paperbench -series):
 // for each VM (and the host, vm=-1) it prints the minimum, maximum,
 // and final FMFI per order over the run — fragmentation over time at
 // a glance, without plotting.
+//
+// With -runstats REPORT.json it prints the run-stats section of a
+// paperbench/v1 report (written by paperbench/fleetsim -runstats
+// -json): total wall time, peak heap, and the per-cell profile table,
+// plus the trace summary when present. Errors if the report has no
+// runstats section.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 	"sort"
 
+	"repro"
 	"repro/internal/buddy"
 	"repro/internal/frag"
 	"repro/internal/mem"
@@ -35,10 +43,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	recover := flag.Int("recover", 16, "regions to recover after fragmenting")
 	series := flag.String("series", "", "summarize a flight-recorder series CSV instead of fragmenting")
+	runstats := flag.String("runstats", "", "print the runstats section of a paperbench/v1 JSON report instead of fragmenting")
 	flag.Parse()
 
 	if *series != "" {
 		if err := summarizeSeries(*series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *runstats != "" {
+		if err := printRunStats(*runstats); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -65,6 +81,36 @@ func main() {
 
 	f.ReleaseAll()
 	fmt.Printf("released:   %s\n", frag.Probe(a))
+}
+
+// printRunStats loads a paperbench/v1 report and prints its runstats
+// section (and trace summary when present).
+func printRunStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := repro.ReadBenchReport(f)
+	if err != nil {
+		return err
+	}
+	if r.RunStats == nil {
+		return fmt.Errorf("%s: no runstats section (rerun with -runstats or -serve)", path)
+	}
+	fmt.Print(r.RunStats.Format())
+	if t := r.Trace; t != nil {
+		streamed := ""
+		if t.Streamed {
+			streamed = " streamed"
+		}
+		fmt.Printf("trace: events=%d samples=%d dropped=%d stride=%d%s\n",
+			t.Events, t.Samples, t.DroppedEvents, t.SamplerStride, streamed)
+	}
+	for _, w := range r.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	return nil
 }
 
 // summarizeSeries reads a flight-recorder sample series and prints the

@@ -6,7 +6,7 @@
 //	geminisim [-system GEMINI] [-workload masstree] [-fragmented]
 //	          [-reused] [-requests 4000] [-seed 1] [-all-systems]
 //	          [-parallel N] [-vms N] [-trace FILE] [-series FILE]
-//	          [-sample-every N]
+//	          [-sample-every N] [-stream] [-progress]
 //
 // With -vms N > 1, N copies of the workload run as separate VMs
 // consolidated on one host through the unified engine, and one row is
@@ -24,16 +24,23 @@
 // shard of the recorder and the shards are merged in system order
 // before the files are written, so the output is byte-identical at any
 // -parallel value.
+//
+// -stream writes the -trace/-series files incrementally during the run
+// (a crash leaves a valid prefix; within recorder bounds the bytes
+// match the batch files). -progress prints live systems-done/total
+// lines with an ETA to stderr only, leaving stdout byte-identical.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 // systemNames renders the registered figure systems for the -system
@@ -59,6 +66,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE")
 	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE")
 	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
+	stream := flag.Bool("stream", false, "stream -trace/-series files incrementally during the run instead of writing at the end")
+	progress := flag.Bool("progress", false, "print live systems-done/total progress with ETA to stderr")
 	flag.Parse()
 	if *vms < 1 {
 		fmt.Fprintf(os.Stderr, "-vms must be at least 1, got %d\n", *vms)
@@ -86,12 +95,37 @@ func main() {
 	if *traceOut != "" || *seriesOut != "" {
 		rec = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
 	}
+	var streamEvents, streamSeries *os.File
+	if *stream {
+		if rec == nil {
+			fmt.Fprintln(os.Stderr, "-stream requires -trace and/or -series")
+			os.Exit(1)
+		}
+		var ev, sm io.Writer
+		if *traceOut != "" {
+			streamEvents = createFile(*traceOut)
+			ev = streamEvents
+		}
+		if *seriesOut != "" {
+			streamSeries = createFile(*seriesOut)
+			sm = streamSeries
+		}
+		if err := rec.StreamTo(ev, sm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.NewProgress(os.Stderr, "geminisim")
+		prog.AddTotal(len(systems))
+	}
 
 	fmt.Printf("workload=%s footprint=%dMB fragmented=%v reused=%v requests=%d seed=%d vms=%d\n\n",
 		spec.Name, spec.FootprintMB, *fragmented, *reused, *requests, *seed, *vms)
 	fmt.Printf("%-22s %10s %10s %10s %9s %8s %7s %7s\n",
 		"system", "thpt/Mcyc", "mean(cyc)", "p99(cyc)", "tlbm/kacc", "aligned", "guestH", "hostH")
-	for _, rows := range runAll(systems, spec, *vms, *fragmented, *reused, *requests, *seed, *par, rec) {
+	for _, rows := range runAll(systems, spec, *vms, *fragmented, *reused, *requests, *seed, *par, rec, prog) {
 		for i, r := range rows {
 			label := r.System
 			if *vms > 1 {
@@ -104,7 +138,11 @@ func main() {
 	}
 
 	if rec != nil {
-		writeTrace(rec, *traceOut, *seriesOut)
+		if *stream {
+			finishStream(rec, *traceOut, *seriesOut, streamEvents, streamSeries)
+		} else {
+			writeTrace(rec, *traceOut, *seriesOut)
+		}
 	}
 }
 
@@ -113,7 +151,7 @@ func main() {
 // system records straight into it; several systems each record into a
 // private shard keyed by their index, merged in system order after the
 // last one finishes, so the trace is identical at any parallelism.
-func runAll(systems []repro.System, spec repro.WorkloadSpec, vms int, fragmented, reused bool, requests int, seed int64, par int, rec *repro.TraceRecorder) [][]repro.Result {
+func runAll(systems []repro.System, spec repro.WorkloadSpec, vms int, fragmented, reused bool, requests int, seed int64, par int, rec *repro.TraceRecorder, prog *telemetry.Progress) [][]repro.Result {
 	if par < 1 {
 		par = 1
 	}
@@ -134,6 +172,14 @@ func runAll(systems []repro.System, spec repro.WorkloadSpec, vms int, fragmented
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i] = runOne(sys, spec, vms, fragmented, reused, requests, seed, sysRec)
+			if prog != nil {
+				gauges := ""
+				if len(results[i]) > 0 {
+					r := results[i][0]
+					gauges = fmt.Sprintf(" fmfi=%.2f cov=%.2f", r.GuestFMFI, r.HugeCoverage)
+				}
+				prog.CellDone(sys.String(), gauges)
+			}
 		}(i, sys, sysRec)
 	}
 	wg.Wait()
@@ -174,12 +220,9 @@ func runOne(sys repro.System, spec repro.WorkloadSpec, n int, fragmented, reused
 // requested files, noting any ring overflow on stderr.
 func writeTrace(rec *repro.TraceRecorder, tracePath, seriesPath string) {
 	write := func(path string, fn func(*os.File) error) {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := fn(f); err == nil {
+		f := createFile(path)
+		err := fn(f)
+		if err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -198,7 +241,40 @@ func writeTrace(rec *repro.TraceRecorder, tracePath, seriesPath string) {
 		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
 			len(rec.Samples()), seriesPath, rec.Stride())
 	}
-	if d := rec.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", d)
+	telemetry.WarnDropped(os.Stderr, rec.Dropped())
+}
+
+// finishStream closes out a streamed trace, printing the same stdout
+// summary lines writeTrace prints so -stream never changes stdout.
+func finishStream(rec *repro.TraceRecorder, tracePath, seriesPath string, eventsF, seriesF *os.File) {
+	if err := rec.FlushStream(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	for _, f := range []*os.File{eventsF, seriesF} {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		fmt.Printf("\nwrote %d events to %s\n", len(rec.Events()), tracePath)
+	}
+	if seriesPath != "" {
+		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
+			len(rec.Samples()), seriesPath, rec.Stride())
+	}
+	telemetry.WarnDropped(os.Stderr, rec.Dropped())
+}
+
+func createFile(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return f
 }

@@ -9,7 +9,8 @@
 //	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated|manyvms|fleet]
 //	           [-quick] [-seed 1] [-parallel N] [-audit] [-vms N]
 //	           [-json FILE] [-validate-json FILE]
-//	           [-trace FILE] [-series FILE] [-sample-every N]
+//	           [-trace FILE] [-series FILE] [-sample-every N] [-stream]
+//	           [-progress] [-runstats] [-serve ADDR [-serve-linger D]]
 //	           [-bench-export FILE [-bench-count N] [-bench-profile FILE]]
 //	           [-bench-format FILE] [-bench-compare BASE,NEW [-bench-tolerance F]]
 //
@@ -22,7 +23,19 @@
 // -sample-every sets the tick stride. Tracing composes with -parallel:
 // every grid cell records into a private shard of the recorder and the
 // shards are merged in grid order, so the trace and series files are
-// byte-identical at any parallelism.
+// byte-identical at any parallelism. Adding -stream writes the trace
+// files incrementally during the run instead of at the end (crash
+// leaves a valid prefix); within recorder bounds the streamed bytes
+// are identical to the batch files, and stdout is unchanged.
+//
+// Live telemetry (all stderr/HTTP only — stdout stays byte-identical):
+// -progress prints throttled cells-done/total lines with an ETA and
+// headline gauges; -runstats collects per-cell wall time, simulated
+// ticks/sec, and allocation deltas, prints the table to stderr, and
+// embeds a "runstats" section in the -json report; -serve ADDR exposes
+// /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof
+// on ADDR for the duration of the run (plus -serve-linger, for
+// scraping after a short run finishes).
 //
 // The -bench-* modes run the hot-path microbenchmark suite (package
 // internal/hotbench) instead of the experiments: -bench-export times
@@ -45,11 +58,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -64,6 +79,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write the structured event trace as JSONL to FILE (composes with -parallel)")
 	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE (composes with -parallel)")
 	sampleEvery := flag.Int("sample-every", 0, "sample stride in ticks for -series (0 = recorder default)")
+	stream := flag.Bool("stream", false, "stream -trace/-series files incrementally during the run instead of writing at the end")
+	progress := flag.Bool("progress", false, "print live cells-done/total progress with ETA to stderr")
+	runstats := flag.Bool("runstats", false, "collect per-cell run-stats (wall time, ticks/sec, allocs), print the table to stderr, and embed them in the -json report")
+	serveAddr := flag.String("serve", "", "serve live /metrics, /debug/vars, and /debug/pprof on ADDR (e.g. 127.0.0.1:9631) for the run's duration")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	benchExportF := flag.String("bench-export", "", "run the hot-path benchmark suite and write a hotbench/v1 JSON report to FILE")
 	benchCount := flag.Int("bench-count", 5, "samples per benchmark for -bench-export")
 	benchProfile := flag.String("bench-profile", "", "write a CPU profile of the -bench-export run to FILE")
@@ -103,6 +123,58 @@ func main() {
 		o.Trace = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
 	}
 
+	// Streaming mode: open the trace files up front and attach them as
+	// the recorder's live sink, so a long run's trace is inspectable
+	// while it executes and a crash leaves a valid prefix.
+	var streamEvents, streamSeries *os.File
+	if *stream {
+		if o.Trace == nil {
+			fmt.Fprintln(os.Stderr, "-stream requires -trace and/or -series")
+			os.Exit(1)
+		}
+		var ev, sm io.Writer
+		if *traceOut != "" {
+			streamEvents = createFile(*traceOut)
+			ev = streamEvents
+		}
+		if *seriesOut != "" {
+			streamSeries = createFile(*seriesOut)
+			sm = streamSeries
+		}
+		if err := o.Trace.StreamTo(ev, sm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	// Telemetry: progress (stderr, or silent counters for -serve),
+	// run-stats collection, and the opt-in metrics/pprof endpoint.
+	if *progress {
+		o.Progress = telemetry.NewProgress(os.Stderr, "paperbench")
+	} else if *serveAddr != "" {
+		o.Progress = telemetry.NewProgress(nil, "paperbench")
+	}
+	var stopWatch func()
+	if *runstats || *serveAddr != "" {
+		o.Stats = telemetry.NewCollector()
+		stopWatch = o.Stats.StartHeapWatch(0)
+	}
+	var srv *telemetry.Server
+	var metrics *telemetry.Metrics
+	if *serveAddr != "" {
+		metrics = telemetry.NewMetrics()
+		prog, stats := o.Progress, o.Stats
+		metrics.GaugeFunc("paperbench_cells_total", func() float64 { return float64(prog.Total()) })
+		metrics.GaugeFunc("paperbench_cells_done", func() float64 { return float64(prog.Done()) })
+		metrics.GaugeFunc("paperbench_peak_heap_bytes", func() float64 { return float64(stats.PeakHeap()) })
+		var err error
+		if srv, err = telemetry.Serve(*serveAddr, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (and /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
 	report := repro.NewBenchReport(o)
 	ran := false
 	run := func(name string, fn func() []repro.BenchCell) {
@@ -135,11 +207,41 @@ func main() {
 		os.Exit(1)
 	}
 
+	if stopWatch != nil {
+		stopWatch()
+	}
+	if o.Stats != nil {
+		report.SetRunStats(o.Stats)
+	}
+	if rec := o.Trace; rec != nil {
+		report.SetTraceInfo(len(rec.Events()), len(rec.Samples()), rec.Dropped(), rec.Stride(), *stream)
+		if metrics != nil {
+			metrics.Gauge("paperbench_trace_dropped_events").Set(float64(rec.Dropped()))
+			metrics.Gauge("paperbench_trace_sampler_stride").Set(float64(rec.Stride()))
+		}
+	}
 	if *jsonOut != "" {
 		writeReport(report, *jsonOut)
 	}
 	if o.Trace != nil {
-		writeTrace(o.Trace, *traceOut, *seriesOut)
+		if *stream {
+			finishStream(o.Trace, *traceOut, *seriesOut, streamEvents, streamSeries)
+		} else {
+			writeTrace(o.Trace, *traceOut, *seriesOut)
+		}
+	}
+	if *runstats {
+		fmt.Fprint(os.Stderr, report.RunStats.Format())
+	}
+	for _, w := range report.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on http://%s\n", *serveLinger, srv.Addr())
+			time.Sleep(*serveLinger)
+		}
+		srv.Close()
 	}
 }
 
@@ -161,6 +263,9 @@ func validateReport(path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: valid %s report, %d figures\n", path, r.Schema, len(r.Figures))
+	for _, w := range r.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s: %s\n", path, w)
+	}
 }
 
 // writeReport validates and writes the JSON report; an invalid report
@@ -204,18 +309,51 @@ func writeTrace(rec *repro.TraceRecorder, tracePath, seriesPath string) {
 		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
 			len(rec.Samples()), seriesPath, rec.Stride())
 	}
-	if d := rec.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", d)
-	}
+	telemetry.WarnDropped(os.Stderr, rec.Dropped())
 }
 
-func writeFile(path string, write func(*os.File) error) {
+// finishStream closes out a streamed trace: flushes the sink's pending
+// buffers, closes the files, and prints the same stdout summary lines
+// batch mode prints (the counts are the recorder's retained volumes;
+// past ring/series bounds the streamed files hold a lossless superset,
+// which the drop warning notes).
+func finishStream(rec *repro.TraceRecorder, tracePath, seriesPath string, eventsF, seriesF *os.File) {
+	if err := rec.FlushStream(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range []*os.File{eventsF, seriesF} {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tracePath != "" {
+		fmt.Printf("wrote %d events to %s\n", len(rec.Events()), tracePath)
+	}
+	if seriesPath != "" {
+		fmt.Printf("wrote %d samples to %s (stride %d ticks)\n",
+			len(rec.Samples()), seriesPath, rec.Stride())
+	}
+	telemetry.WarnDropped(os.Stderr, rec.Dropped())
+}
+
+func createFile(path string) *os.File {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := write(f); err == nil {
+	return f
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f := createFile(path)
+	err := write(f)
+	if err == nil {
 		err = f.Close()
 	} else {
 		f.Close()

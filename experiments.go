@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -42,6 +43,16 @@ type Options struct {
 	// byte-identical at any parallelism. Each cell's Result carries
 	// only that cell's own Timeline/Events.
 	Trace *trace.Recorder
+	// Stats, when non-nil, collects run-stats telemetry: each grid cell
+	// is bracketed by a telemetry.Cell (wall time, simulated ticks,
+	// allocation deltas). Collection happens at cell boundaries only, so
+	// it never perturbs simulated state or traced output.
+	Stats *telemetry.Collector
+	// Progress, when non-nil, receives live completion updates: the grid
+	// registers its cell count up front and reports each cell as it
+	// finishes with its headline gauges. Progress writes to stderr (or
+	// counts silently with a nil writer), never stdout.
+	Progress *telemetry.Progress
 }
 
 // Validate reports whether the options are usable. Experiment
@@ -243,14 +254,71 @@ func runGrid[U, R any](o Options, units []U, systems []System, settings []Settin
 			jobs[i].Trace = o.Trace.Shard(i, describe(i))
 		}
 	}
+	if o.Progress != nil {
+		o.Progress.AddTotal(len(jobs))
+	}
 	out := make([]R, len(jobs))
 	forEach(len(jobs), o.parallel(), describe, func(i int) {
+		var cell *telemetry.Cell
+		if o.Stats != nil {
+			cell = o.Stats.StartCell(describe(i))
+		}
 		out[i] = run(jobs[i])
+		if cell != nil {
+			cell.Done(resultTicks(out[i]))
+		}
+		if o.Progress != nil {
+			o.Progress.CellDone(describe(i), resultGauges(out[i]))
+		}
 	})
 	if o.Trace != nil {
 		o.Trace.MergeShards()
 	}
 	return out
+}
+
+// resultTicks extracts the simulated tick count from a grid cell's
+// result for run-stats, across the figure result shapes; 0 for shapes
+// that carry none.
+func resultTicks(v any) uint64 {
+	switch r := v.(type) {
+	case Result:
+		return r.Ticks
+	case CleanSlateRow:
+		return r.Result.Ticks
+	case ColocatedRow:
+		return r.A.Ticks
+	case ManyVMRow:
+		if len(r.Results) > 0 {
+			return r.Results[0].Ticks
+		}
+	case FleetResult:
+		return r.Ticks
+	}
+	return 0
+}
+
+// resultGauges renders a grid cell's headline gauges for the progress
+// line (" fmfi=… cov=…"); empty for shapes without them.
+func resultGauges(v any) string {
+	g := func(fmfi, cov float64) string {
+		return fmt.Sprintf(" fmfi=%.2f cov=%.2f", fmfi, cov)
+	}
+	switch r := v.(type) {
+	case Result:
+		return g(r.GuestFMFI, r.HugeCoverage)
+	case CleanSlateRow:
+		return g(r.Result.GuestFMFI, r.Result.HugeCoverage)
+	case ColocatedRow:
+		return g(r.A.GuestFMFI, r.A.HugeCoverage)
+	case ManyVMRow:
+		if len(r.Results) > 0 {
+			return g(r.Results[0].GuestFMFI, r.Results[0].HugeCoverage)
+		}
+	case FleetResult:
+		return g(r.MeanHostFMFI, r.HugeCoverage)
+	}
+	return ""
 }
 
 // cellConfig builds the single-VM sim.Config for one grid cell.
@@ -293,16 +361,30 @@ func Figure2(o Options) []MicroResult {
 		{true, true},   // Host-H-VM-H
 	}
 	out := make([]MicroResult, len(sizes)*len(configs))
-	forEach(len(out), o.parallel(), func(i int) string {
+	describe := func(i int) string {
 		c := configs[i%len(configs)]
 		return fmt.Sprintf("micro %dMB × guestHuge=%v hostHuge=%v",
 			sizes[i/len(configs)], c.g, c.h)
-	}, func(i int) {
+	}
+	if o.Progress != nil {
+		o.Progress.AddTotal(len(out))
+	}
+	forEach(len(out), o.parallel(), describe, func(i int) {
 		size := sizes[i/len(configs)]
 		c := configs[i%len(configs)]
+		var cell *telemetry.Cell
+		if o.Stats != nil {
+			cell = o.Stats.StartCell(describe(i))
+		}
 		out[i] = sim.RunMicro(sim.MicroConfig{
 			GuestHuge: c.g, HostHuge: c.h, DatasetMB: size, Seed: o.seed(),
 		})
+		if cell != nil {
+			cell.Done(0)
+		}
+		if o.Progress != nil {
+			o.Progress.CellDone(describe(i), "")
+		}
 	})
 	return out
 }

@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // BenchSchema identifies the machine-readable paperbench report format.
@@ -21,6 +25,52 @@ type BenchReport struct {
 	Seed    int64         `json:"seed"`
 	Quick   bool          `json:"quick"`
 	Figures []BenchFigure `json:"figures"`
+	// RunStats is the run's self-profile (wall time, per-cell timing,
+	// peak heap) when telemetry collection was enabled; omitted
+	// otherwise so reports from plain runs are unchanged.
+	RunStats *RunStatsReport `json:"runstats,omitempty"`
+	// Trace summarises the flight recorder when the run was traced:
+	// retained volumes, ring drops, and the final sampler stride.
+	Trace *TraceReport `json:"trace,omitempty"`
+}
+
+// RunStatsReport is the telemetry self-profile section of a report.
+type RunStatsReport struct {
+	// WallMS is the run's total wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// PeakHeapBytes is the largest HeapAlloc observed during the run.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// Cells profiles each unit of work in completion order.
+	Cells []RunStatCell `json:"cells"`
+}
+
+// RunStatCell is one profiled unit of work (a grid cell, a fleet run).
+type RunStatCell struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	// Ticks and TicksPerSec report simulated progress per wall-clock
+	// time; zero (omitted) for cells whose result carries no tick count.
+	Ticks       uint64  `json:"ticks,omitempty"`
+	TicksPerSec float64 `json:"ticks_per_sec,omitempty"`
+	// Allocs/AllocBytes are heap allocation deltas across the cell —
+	// exact for sequential grids, upper bounds under Options.Parallel.
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+}
+
+// TraceReport is the flight-recorder summary section of a report.
+type TraceReport struct {
+	// Events and Samples are the retained volumes at the end of the run.
+	Events  int `json:"events"`
+	Samples int `json:"samples"`
+	// DroppedEvents counts events lost to ring wraparound; nonzero means
+	// the retained event stream has a truncated head (raise EventCap).
+	DroppedEvents uint64 `json:"dropped_events"`
+	// SamplerStride is the final sampling stride in ticks; a value above
+	// the initial stride means decimation compressed the series.
+	SamplerStride uint64 `json:"sampler_stride"`
+	// Streamed records whether the run streamed its trace incrementally.
+	Streamed bool `json:"streamed,omitempty"`
 }
 
 // BenchFigure is one experiment's grid (e.g. "cleanslate").
@@ -72,6 +122,7 @@ func ResultCell(setting string, vm int, res Result) BenchCell {
 			"migrated_pages":         float64(res.MigratedPages),
 			"background_cycles":      float64(res.BackgroundCycles),
 			"bucket_reuse_rate":      res.BucketReuseRate,
+			"huge_coverage":          res.HugeCoverage,
 		},
 	}
 }
@@ -139,6 +190,68 @@ func FleetCells(res FleetResult) []BenchCell {
 	return cells
 }
 
+// SetRunStats fills the report's runstats section from a telemetry
+// collector: total wall clock, peak heap, and one entry per profiled
+// cell in completion order.
+func (r *BenchReport) SetRunStats(c *telemetry.Collector) {
+	rs := &RunStatsReport{
+		WallMS:        c.TotalWall().Seconds() * 1000,
+		PeakHeapBytes: c.PeakHeap(),
+	}
+	for _, cs := range c.Cells() {
+		rs.Cells = append(rs.Cells, RunStatCell{
+			Name:        cs.Name,
+			WallMS:      cs.Wall.Seconds() * 1000,
+			Ticks:       cs.Ticks,
+			TicksPerSec: cs.TicksPerSec(),
+			Allocs:      cs.Allocs,
+			AllocBytes:  cs.AllocBytes,
+		})
+	}
+	r.RunStats = rs
+}
+
+// SetTraceInfo fills the report's trace summary section.
+func (r *BenchReport) SetTraceInfo(events, samples int, dropped, stride uint64, streamed bool) {
+	r.Trace = &TraceReport{
+		Events: events, Samples: samples,
+		DroppedEvents: dropped, SamplerStride: stride, Streamed: streamed,
+	}
+}
+
+// Warnings returns non-fatal data-quality notes about the report —
+// conditions a consumer should see but that don't invalidate the
+// artifact. Today: trace event drops (the retained stream has a
+// truncated head).
+func (r *BenchReport) Warnings() []string {
+	var out []string
+	if r.Trace != nil && r.Trace.DroppedEvents > 0 {
+		out = append(out, fmt.Sprintf(
+			"trace dropped %d events to ring wraparound; the event stream's head is truncated (raise EventCap)",
+			r.Trace.DroppedEvents))
+	}
+	return out
+}
+
+// Format renders the runstats section as a human-readable table, cells
+// sorted by wall time descending so the most expensive work leads.
+func (rs *RunStatsReport) Format() string {
+	cells := make([]RunStatCell, len(rs.Cells))
+	copy(cells, rs.Cells)
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].WallMS > cells[j].WallMS })
+	var b strings.Builder
+	fmt.Fprintf(&b, "runstats: wall=%.1fms peak_heap=%.1fMB cells=%d\n",
+		rs.WallMS, float64(rs.PeakHeapBytes)/(1<<20), len(cells))
+	fmt.Fprintf(&b, "%-42s %10s %10s %12s %10s %12s\n",
+		"cell", "wall_ms", "ticks", "ticks/sec", "allocs", "alloc_mb")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-42s %10.1f %10d %12.0f %10d %12.2f\n",
+			c.Name, c.WallMS, c.Ticks, c.TicksPerSec, c.Allocs,
+			float64(c.AllocBytes)/(1<<20))
+	}
+	return b.String()
+}
+
 // Validate checks the report's structural contract: the expected
 // schema, at least one figure, every figure named and non-empty, every
 // cell carrying a system label and only finite metric values. CI runs
@@ -176,6 +289,19 @@ func (r *BenchReport) Validate() error {
 					return fmt.Errorf("benchreport: %s cell %d (%s/%s) metric %q = %v",
 						fig.Name, i, c.System, c.Workload, name, v)
 				}
+			}
+		}
+	}
+	if rs := r.RunStats; rs != nil {
+		if math.IsNaN(rs.WallMS) || math.IsInf(rs.WallMS, 0) || rs.WallMS < 0 {
+			return fmt.Errorf("benchreport: runstats wall_ms = %v", rs.WallMS)
+		}
+		for i, c := range rs.Cells {
+			if c.Name == "" {
+				return fmt.Errorf("benchreport: runstats cell %d has no name", i)
+			}
+			if math.IsNaN(c.WallMS) || math.IsInf(c.WallMS, 0) || c.WallMS < 0 {
+				return fmt.Errorf("benchreport: runstats cell %q wall_ms = %v", c.Name, c.WallMS)
 			}
 		}
 	}

@@ -19,6 +19,15 @@ func sampleReport() *BenchReport {
 	r.Add("fig2", []BenchCell{
 		MicroCell(MicroResult{Label: "Host-H-VM-H", DatasetMB: 64, Throughput: 99, TLBMissRate: 0.01}),
 	})
+	r.RunStats = &RunStatsReport{
+		WallMS:        120.5,
+		PeakHeapBytes: 64 << 20,
+		Cells: []RunStatCell{
+			{Name: "redis × GEMINI × fragmented", WallMS: 80.25, Ticks: 4000,
+				TicksPerSec: 49844, Allocs: 1234, AllocBytes: 5 << 20},
+		},
+	}
+	r.Trace = &TraceReport{Events: 512, Samples: 640, DroppedEvents: 0, SamplerStride: 4}
 	return r
 }
 
@@ -68,6 +77,9 @@ func TestBenchReportValidate(t *testing.T) {
 		{"no metrics", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics = nil }, "no metrics"},
 		{"nan metric", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics["throughput"] = math.NaN() }, "throughput"},
 		{"inf metric", func(r *BenchReport) { r.Figures[0].Cells[0].Metrics["throughput"] = math.Inf(1) }, "throughput"},
+		{"nan runstats wall", func(r *BenchReport) { r.RunStats.WallMS = math.NaN() }, "wall_ms"},
+		{"negative cell wall", func(r *BenchReport) { r.RunStats.Cells[0].WallMS = -1 }, "wall_ms"},
+		{"unnamed runstats cell", func(r *BenchReport) { r.RunStats.Cells[0].Name = "" }, "no name"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -81,6 +93,40 @@ func TestBenchReportValidate(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestBenchReportWarnings(t *testing.T) {
+	r := sampleReport()
+	if ws := r.Warnings(); len(ws) != 0 {
+		t.Fatalf("clean report warned: %v", ws)
+	}
+	r.Trace.DroppedEvents = 17
+	ws := r.Warnings()
+	if len(ws) != 1 || !strings.Contains(ws[0], "17") {
+		t.Fatalf("dropped-events warning missing: %v", ws)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("drops must warn, not invalidate: %v", err)
+	}
+}
+
+func TestRunStatsFormat(t *testing.T) {
+	rs := &RunStatsReport{
+		WallMS: 10, PeakHeapBytes: 1 << 20,
+		Cells: []RunStatCell{
+			{Name: "fast", WallMS: 1},
+			{Name: "slow", WallMS: 9, Ticks: 100, TicksPerSec: 11111},
+		},
+	}
+	got := rs.Format()
+	for _, want := range []string{"runstats:", "cells=2", "slow", "fast"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format() missing %q in:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, "slow") > strings.Index(got, "fast") {
+		t.Errorf("cells not sorted by wall time descending:\n%s", got)
 	}
 }
 
@@ -100,6 +146,7 @@ func TestResultCellCoversLegacyFields(t *testing.T) {
 		"tlb_misses_per_kacc", "walk_cycles_per_access", "aligned_rate",
 		"guest_huge", "host_huge", "guest_fmfi",
 		"migrated_pages", "background_cycles", "bucket_reuse_rate",
+		"huge_coverage",
 	}
 	for _, k := range want {
 		if _, ok := c.Metrics[k]; !ok {

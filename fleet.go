@@ -27,6 +27,9 @@ type (
 	FleetFlavor = fleet.Flavor
 	// FleetEvent is one arrival or departure of the churn stream.
 	FleetEvent = fleet.Event
+	// FleetTickInfo is the per-tick snapshot handed to
+	// FleetConfig.OnTick.
+	FleetTickInfo = fleet.TickInfo
 )
 
 // RunFleet executes one fleet run: a cluster of hosts under the

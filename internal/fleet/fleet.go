@@ -78,6 +78,13 @@ type Config struct {
 	Parallel int
 	// Seed derives every RNG stream (see the package comment).
 	Seed int64
+	// OnTick, when non-nil, is called once at the end of every fleet
+	// tick (after the host phase and audit) with a population snapshot.
+	// It runs on the control goroutine and must not mutate the fleet;
+	// the fleetsim CLI uses it to drive live progress and metrics.
+	// Emission changes no simulated state, so a run with OnTick set is
+	// byte-identical to one without.
+	OnTick func(TickInfo)
 	// Trace, when non-nil, attaches the flight recorder. Each host
 	// records into a private shard (run index = host id, so merged rows
 	// and events carry their host); scheduler-scope events (rejections)
@@ -161,6 +168,17 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// TickInfo is the per-tick population snapshot handed to
+// Config.OnTick.
+type TickInfo struct {
+	// Tick is the fleet tick that just completed; Horizon is the last
+	// tick the run will execute.
+	Tick, Horizon uint64
+	// Resident is the current VM population; the counters are
+	// cumulative stream outcomes so far.
+	Resident, Placed, Rejected, Departed, Migrations int
+}
+
 // host is one simulated server of the fleet.
 type host struct {
 	id int
@@ -217,6 +235,9 @@ type Fleet struct {
 	migs              []migRecord
 
 	arrivals, placed, rejected, departed int
+
+	// ticksRun is the horizon the completed run executed to.
+	ticksRun uint64
 }
 
 // New validates the configuration and builds the fleet: hosts, the
@@ -303,7 +324,15 @@ func (f *Fleet) Run() Result {
 		if f.cfg.Audit && tick%uint64(f.cfg.AuditEvery) == 0 {
 			f.runAudit()
 		}
+		if f.cfg.OnTick != nil {
+			f.cfg.OnTick(TickInfo{
+				Tick: tick, Horizon: horizon,
+				Resident: len(f.vms), Placed: f.placed, Rejected: f.rejected,
+				Departed: f.departed, Migrations: f.sched.Stats.Migrations,
+			})
+		}
 	}
+	f.ticksRun = horizon
 	for _, h := range f.hosts {
 		if h.rec != nil && h.rec.SampleFinal(h.m.Ticks) {
 			f.captureHost(h)
@@ -649,6 +678,8 @@ type Result struct {
 	Events   []trace.Event
 	// Dropped counts trace events lost to ring wraparound.
 	Dropped uint64
+	// Ticks is the fleet-tick horizon the run executed.
+	Ticks uint64
 }
 
 // result extracts the run's Result.
@@ -664,6 +695,7 @@ func (f *Fleet) result() Result {
 		Migrations:    f.sched.Stats.Migrations,
 		ResidentVMs:   len(f.vms),
 		MigratedPages: sum(f.pagesIn),
+		Ticks:         f.ticksRun,
 	}
 	loads := f.sched.Hosts()
 	var mapped, huge uint64

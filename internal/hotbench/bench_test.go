@@ -2,8 +2,11 @@ package hotbench
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // BenchmarkHotpath runs the per-layer suite as ordinary sub-benchmarks:
@@ -40,6 +43,28 @@ func TestAccessSteadyStateZeroAllocs(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(5000, func() { w.StepOne() }); n != 0 {
 		t.Fatalf("steady-state access allocated %v allocs/run, want 0", n)
+	}
+}
+
+// TestAccessSteadyStateZeroAllocsStreaming extends the zero-alloc pin
+// to a traced, streaming run: with the flight recorder attached and a
+// live streaming sink, steady-state accesses still allocate nothing.
+// Recorder pushes happen on policy actions and tick sampling, never
+// per access, and streaming must not change that — so attaching
+// telemetry cannot slow the hot path.
+func TestAccessSteadyStateZeroAllocsStreaming(t *testing.T) {
+	_, vm, w := steadyVM(16)
+	rec := trace.NewRecorder(trace.Config{})
+	if err := rec.StreamTo(io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	vm.Guest.Trace = rec.Handle(0, "guest")
+	vm.EPT.Trace = rec.Handle(0, "ept")
+	for i := 0; i < 2000; i++ {
+		w.StepOne()
+	}
+	if n := testing.AllocsPerRun(5000, func() { w.StepOne() }); n != 0 {
+		t.Fatalf("traced steady-state access allocated %v allocs/run, want 0", n)
 	}
 }
 

@@ -464,6 +464,10 @@ func (e *Engine) results() []Result {
 			GuestFMFI:           vm.Guest.Buddy.FMFI(mem.HugeOrder),
 			MigratedPages:       vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages - ev.migBase,
 			BackgroundCycles:    vm.Guest.Stats.BackgroundCycles + vm.EPT.Stats.BackgroundCycles - ev.bg0,
+			Ticks:               e.m.Ticks,
+		}
+		if mapped := vm.Guest.MappedPages(); mapped > 0 {
+			res.HugeCoverage = float64(vm.Guest.Table.Mapped2M()*mem.PagesPerHuge) / float64(mapped)
 		}
 		if ev.cfg.Workload.LatencySensitive {
 			res.MeanLatency = ev.lat.Mean()

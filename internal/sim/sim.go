@@ -228,6 +228,13 @@ type Result struct {
 	// BucketReuseRate is reused/taken for Gemini's bucket (§6.3).
 	BucketReuseRate float64
 
+	// HugeCoverage is the fraction of the VM's mapped guest pages
+	// backed by huge mappings at the end of the run.
+	HugeCoverage float64
+	// Ticks is the number of machine ticks the run executed; telemetry
+	// uses it for ticks-per-second run-stats.
+	Ticks uint64
+
 	// Timeline and Events carry the flight-recorder data when the run
 	// was traced (Config.Trace / EngineConfig.Trace); both are nil for
 	// untraced runs. Timeline is the decimated gauge series (one row

@@ -1,0 +1,108 @@
+package telemetry
+
+// Progress is the live cells-done/total meter behind the CLIs'
+// -progress flags. Counters are atomic so the metrics endpoint can
+// read them from scrape goroutines while grid workers update them;
+// printing is throttled and stderr-only so enabling progress can
+// never change a stdout golden.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// progressMinGap throttles progress lines: at most one per gap except
+// the final one (done == total), which always prints.
+const progressMinGap = 200 * time.Millisecond
+
+// Progress tracks completion of a run's units (grid cells, fleet
+// ticks) and renders throttled one-line updates with an ETA. A nil
+// writer disables printing but keeps the counters live, which is how
+// the -serve endpoint observes a run without -progress.
+type Progress struct {
+	w     io.Writer
+	label string
+	start time.Time
+
+	total atomic.Int64
+	done  atomic.Int64
+	ticks atomic.Uint64
+
+	mu       sync.Mutex
+	lastLine time.Time
+}
+
+// NewProgress builds a progress meter labelled label (the tool name).
+// w is typically os.Stderr; nil counts without printing.
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{w: w, label: label, start: time.Now()}
+}
+
+// AddTotal grows the expected cell count. Grids call it as they are
+// built, so -exp all accumulates its total figure by figure.
+func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
+
+// Total returns the expected cell count registered so far.
+func (p *Progress) Total() int64 { return p.total.Load() }
+
+// Done returns how many cells have completed.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// CellDone marks one cell finished and prints a throttled progress
+// line: cells done/total, the cell's identity, its headline gauges
+// (pre-formatted, may be empty), and the ETA extrapolated from the
+// mean cell rate so far. Safe for concurrent workers.
+func (p *Progress) CellDone(name, gauges string) {
+	done := p.done.Add(1)
+	if p.w == nil {
+		return
+	}
+	total := p.total.Load()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.lastLine) < progressMinGap {
+		return
+	}
+	p.lastLine = now
+	fmt.Fprintf(p.w, "[%s %d/%d] %s%s%s\n", p.label, done, total, name, gauges,
+		p.eta(float64(done), float64(total)))
+}
+
+// Tick reports fine-grained progress inside one long-running cell
+// (the fleet loop calls it once per fleet tick). The tick counter is
+// always stored for the metrics endpoint; printing is throttled.
+func (p *Progress) Tick(done, total uint64, extra string) {
+	p.ticks.Store(done)
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.lastLine) < progressMinGap {
+		return
+	}
+	p.lastLine = now
+	if extra != "" {
+		extra = " " + extra
+	}
+	fmt.Fprintf(p.w, "[%s tick %d/%d]%s%s\n", p.label, done, total, extra,
+		p.eta(float64(done), float64(total)))
+}
+
+// Ticks returns the last tick count reported via Tick.
+func (p *Progress) Ticks() uint64 { return p.ticks.Load() }
+
+// eta renders " eta 42s" from the mean completion rate so far; empty
+// when nothing has completed or everything has.
+func (p *Progress) eta(done, total float64) string {
+	if done <= 0 || done >= total {
+		return ""
+	}
+	left := time.Duration(time.Since(p.start).Seconds() / done * (total - done) * float64(time.Second))
+	return fmt.Sprintf(" eta %s", left.Round(time.Second))
+}

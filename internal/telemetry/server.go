@@ -1,0 +1,163 @@
+package telemetry
+
+// The opt-in HTTP endpoint behind the CLIs' -serve flags: a tiny
+// gauge registry rendered in Prometheus text exposition format at
+// /metrics, the process expvars at /debug/vars, and net/http/pprof at
+// /debug/pprof — on a private mux, never the default one, so opting
+// in exposes exactly these handlers and nothing a library registered
+// globally.
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is one atomically updated float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Get loads the gauge's value.
+func (g *Gauge) Get() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Metrics is a minimal gauge registry for the /metrics endpoint.
+// Names must match Prometheus metric-name syntax
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); registration order is exposition order.
+// Safe for concurrent registration, update, and scrape.
+type Metrics struct {
+	mu    sync.Mutex
+	names []string
+	vals  map[string]*Gauge
+	funcs map[string]func() float64
+}
+
+// NewMetrics builds an empty registry. Go runtime gauges
+// (go_goroutines, go_heap_alloc_bytes, go_heap_sys_bytes,
+// go_total_alloc_bytes, go_gc_cycles) are appended to every scrape
+// automatically.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		vals:  make(map[string]*Gauge),
+		funcs: make(map[string]func() float64),
+	}
+}
+
+// Gauge returns the named stored gauge, registering it (initially 0)
+// on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.vals[name]; ok {
+		return g
+	}
+	g := new(Gauge)
+	m.vals[name] = g
+	m.names = append(m.names, name)
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time. fn must be safe
+// to call from the scrape goroutine.
+func (m *Metrics) GaugeFunc(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.funcs[name]; !ok {
+		if _, stored := m.vals[name]; !stored {
+			m.names = append(m.names, name)
+		}
+	}
+	m.funcs[name] = fn
+}
+
+// WritePrometheus renders every gauge in text exposition format:
+// a "# TYPE <name> gauge" comment followed by "<name> <value>" per
+// metric, registered gauges first, runtime gauges last.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	type namedValue struct {
+		name string
+		v    float64
+	}
+	rows := make([]namedValue, 0, len(m.names)+5)
+	for _, name := range m.names {
+		if fn, ok := m.funcs[name]; ok {
+			rows = append(rows, namedValue{name, fn()})
+		} else {
+			rows = append(rows, namedValue{name, m.vals[name].Get()})
+		}
+	}
+	m.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rows = append(rows,
+		namedValue{"go_goroutines", float64(runtime.NumGoroutine())},
+		namedValue{"go_heap_alloc_bytes", float64(ms.HeapAlloc)},
+		namedValue{"go_heap_sys_bytes", float64(ms.HeapSys)},
+		namedValue{"go_total_alloc_bytes", float64(ms.TotalAlloc)},
+		namedValue{"go_gc_cycles", float64(ms.NumGC)},
+	)
+
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n",
+			r.name, r.name, strconv.FormatFloat(r.v, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// Server is a running telemetry endpoint; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. "127.0.0.1:9631",
+// or ":0" for an ephemeral port) and returns once it is listening.
+// Handlers: /metrics (Prometheus text), /debug/vars (expvar JSON),
+// /debug/pprof/... (live profiling), and / (a plain index).
+func Serve(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "telemetry endpoints: /metrics /debug/vars /debug/pprof\n")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the endpoint's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down, closing the listener and any open
+// connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,173 @@
+// Package telemetry is the live observability layer over the
+// simulator: run-stats self-profiling (per-grid-cell and per-fleet
+// wall time, simulated ticks/sec, allocation deltas, peak heap —
+// Collector), a throttled stderr progress meter with ETA and headline
+// gauges (Progress, progress.go), and an opt-in HTTP endpoint serving
+// a Prometheus-text / expvar metrics snapshot plus net/http/pprof
+// handlers for live profiling of long runs (Metrics and Serve,
+// server.go).
+//
+// Everything here observes a run from outside the simulated machine:
+// nothing in this package reads or advances simulated time, emission
+// is strictly opt-in, and all output goes to stderr or HTTP — so
+// attaching telemetry cannot change a byte of any stdout golden or
+// trace file, and the access hot path never calls into this package.
+// See DESIGN.md §9 (observability) for the architecture and the
+// streaming determinism argument.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector accumulates run-stats: one CellStat per completed unit of
+// work (a grid cell, a fleet run), plus a process-wide peak-heap
+// high-water mark. Safe for concurrent use; cells from parallel grids
+// land in completion order. Collection happens at cell boundaries
+// (two ReadMemStats per cell), never on the simulated hot path.
+type Collector struct {
+	start time.Time
+	peak  atomic.Uint64
+
+	mu    sync.Mutex
+	cells []CellStat
+}
+
+// CellStat is the profile of one completed unit of work. Allocation
+// deltas are process-global bracketing readings: exact for sequential
+// grids, upper bounds when cells overlap under Options.Parallel.
+type CellStat struct {
+	// Name identifies the cell (its grid identity).
+	Name string
+	// Wall is the cell's wall-clock duration.
+	Wall time.Duration
+	// Ticks is the simulated tick count the cell executed (0 when the
+	// result type carries none).
+	Ticks uint64
+	// Allocs and AllocBytes are the heap allocation count and volume
+	// between the cell's start and end.
+	Allocs, AllocBytes uint64
+}
+
+// TicksPerSec is the cell's simulated ticks per wall-clock second.
+func (c CellStat) TicksPerSec() float64 {
+	if c.Wall <= 0 || c.Ticks == 0 {
+		return 0
+	}
+	return float64(c.Ticks) / c.Wall.Seconds()
+}
+
+// NewCollector starts a collector; its total wall clock runs from now.
+func NewCollector() *Collector {
+	c := &Collector{start: time.Now()}
+	c.notePeak(heapAlloc())
+	return c
+}
+
+func heapAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func (c *Collector) notePeak(h uint64) {
+	for {
+		cur := c.peak.Load()
+		if h <= cur || c.peak.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// Cell is one in-flight unit of work handed out by StartCell; call
+// Done exactly once when the work completes.
+type Cell struct {
+	c        *Collector
+	name     string
+	t0       time.Time
+	mallocs0 uint64
+	bytes0   uint64
+}
+
+// StartCell begins profiling one unit of work.
+func (c *Collector) StartCell(name string) *Cell {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.notePeak(ms.HeapAlloc)
+	return &Cell{c: c, name: name, t0: time.Now(), mallocs0: ms.Mallocs, bytes0: ms.TotalAlloc}
+}
+
+// Done finishes the cell with the simulated tick count it executed and
+// records its CellStat.
+func (cl *Cell) Done(ticks uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	cl.c.notePeak(ms.HeapAlloc)
+	st := CellStat{
+		Name:       cl.name,
+		Wall:       time.Since(cl.t0),
+		Ticks:      ticks,
+		Allocs:     ms.Mallocs - cl.mallocs0,
+		AllocBytes: ms.TotalAlloc - cl.bytes0,
+	}
+	cl.c.mu.Lock()
+	cl.c.cells = append(cl.c.cells, st)
+	cl.c.mu.Unlock()
+}
+
+// Cells returns the completed cells in completion order.
+func (c *Collector) Cells() []CellStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CellStat, len(c.cells))
+	copy(out, c.cells)
+	return out
+}
+
+// PeakHeap returns the largest HeapAlloc observed at any cell boundary
+// or heap-watch sample.
+func (c *Collector) PeakHeap() uint64 { return c.peak.Load() }
+
+// TotalWall is the wall-clock time since the collector started.
+func (c *Collector) TotalWall() time.Duration { return time.Since(c.start) }
+
+// StartHeapWatch samples HeapAlloc every interval on a background
+// goroutine so PeakHeap catches spikes between cell boundaries.
+// The returned stop function halts the watcher; it is safe to call
+// more than once.
+func (c *Collector) StartHeapWatch(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.notePeak(heapAlloc())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// WarnDropped prints the shared event-ring overflow note every traced
+// CLI emits on stderr when a run dropped events; a zero count prints
+// nothing. One helper so the three cmd tools stay word-for-word
+// identical.
+func WarnDropped(w io.Writer, dropped uint64) {
+	if dropped == 0 {
+		return
+	}
+	fmt.Fprintf(w, "note: event ring overflowed, %d oldest events dropped (raise EventCap)\n", dropped)
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCollectorCellBracketing: a cell's stat carries its name, the
+// ticks handed to Done, a positive wall time, and allocation deltas
+// covering work done inside the bracket.
+func TestCollectorCellBracketing(t *testing.T) {
+	c := NewCollector()
+	cell := c.StartCell("redis × GEMINI × fragmented")
+	time.Sleep(time.Millisecond)
+	sink := make([]byte, 1<<20) // allocate something measurable
+	_ = sink
+	cell.Done(12345)
+
+	cells := c.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	st := cells[0]
+	if st.Name != "redis × GEMINI × fragmented" {
+		t.Errorf("name = %q", st.Name)
+	}
+	if st.Ticks != 12345 {
+		t.Errorf("ticks = %d, want 12345", st.Ticks)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", st.Wall)
+	}
+	if st.AllocBytes < 1<<20 {
+		t.Errorf("alloc bytes = %d, want >= 1MiB (the bracket missed the allocation)", st.AllocBytes)
+	}
+	if st.TicksPerSec() <= 0 {
+		t.Errorf("ticks/sec = %v, want > 0", st.TicksPerSec())
+	}
+	if c.PeakHeap() == 0 {
+		t.Error("peak heap never observed")
+	}
+}
+
+// TestCollectorTicksPerSecZeroSafe: cells with no ticks or no wall
+// time report 0 instead of NaN/Inf, keeping the JSON report valid.
+func TestCollectorTicksPerSecZeroSafe(t *testing.T) {
+	if got := (CellStat{Wall: time.Second}).TicksPerSec(); got != 0 {
+		t.Errorf("0 ticks: got %v, want 0", got)
+	}
+	if got := (CellStat{Ticks: 10}).TicksPerSec(); got != 0 {
+		t.Errorf("0 wall: got %v, want 0", got)
+	}
+}
+
+// TestProgressCountsAndFinalLine: the final CellDone always prints
+// (bypassing the throttle) and the counters add up; a nil writer
+// counts without printing.
+func TestProgressCountsAndFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "test")
+	p.AddTotal(1)
+	p.CellDone("cell-a", " fmfi=0.50")
+	if p.Done() != 1 || p.Total() != 1 {
+		t.Fatalf("done/total = %d/%d, want 1/1", p.Done(), p.Total())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[test 1/1] cell-a fmfi=0.50") {
+		t.Errorf("final progress line missing or malformed: %q", out)
+	}
+
+	quiet := NewProgress(nil, "quiet")
+	quiet.AddTotal(2)
+	quiet.CellDone("a", "")
+	quiet.CellDone("b", "")
+	quiet.Tick(7, 10, "")
+	if quiet.Done() != 2 {
+		t.Errorf("nil-writer done = %d, want 2", quiet.Done())
+	}
+	if quiet.Ticks() != 7 {
+		t.Errorf("nil-writer ticks = %d, want 7", quiet.Ticks())
+	}
+}
+
+// TestProgressTickLine: fleet-style tick progress renders the tick
+// counter and any extra gauges; the final tick always prints.
+func TestProgressTickLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "fleetsim")
+	p.Tick(10, 10, "resident=3")
+	if !strings.Contains(buf.String(), "[fleetsim tick 10/10] resident=3") {
+		t.Errorf("tick line malformed: %q", buf.String())
+	}
+}
+
+// promLine matches the only two line shapes the exposition format
+// allows out of WritePrometheus: a TYPE comment or a sample.
+var promLine = regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* gauge|[a-zA-Z_:][a-zA-Z0-9_:]* [-+0-9.eE]+)$`)
+
+// checkPrometheus validates body line by line against the text
+// exposition format and returns the sampled name→value pairs.
+func checkPrometheus(t *testing.T, body string) map[string]string {
+	t.Helper()
+	vals := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			name, v, _ := strings.Cut(line, " ")
+			vals[name] = v
+		}
+	}
+	return vals
+}
+
+// TestMetricsWritePrometheus: stored gauges, scrape-time funcs, and
+// the automatic runtime gauges all render valid exposition text in
+// registration order.
+func TestMetricsWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Gauge("cells_done").Set(7)
+	m.GaugeFunc("cells_total", func() float64 { return 40 })
+	m.Gauge("cells_done").Set(8) // idempotent re-lookup, latest value wins
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals := checkPrometheus(t, buf.String())
+	if vals["cells_done"] != "8" {
+		t.Errorf("cells_done = %q, want 8", vals["cells_done"])
+	}
+	if vals["cells_total"] != "40" {
+		t.Errorf("cells_total = %q, want 40", vals["cells_total"])
+	}
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles"} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("runtime gauge %s missing from scrape", name)
+		}
+	}
+	if !strings.HasPrefix(buf.String(), "# TYPE cells_done gauge\n") {
+		t.Errorf("registration order not preserved:\n%s", buf.String())
+	}
+}
+
+// TestServeEndpoints: a live endpoint on an ephemeral port serves
+// /metrics with the Prometheus content type, /debug/vars as expvar
+// JSON, and the pprof index.
+func TestServeEndpoints(t *testing.T) {
+	m := NewMetrics()
+	m.Gauge("test_cells_done").Set(3)
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ctype)
+	}
+	vals := checkPrometheus(t, body)
+	if vals["test_cells_done"] != "3" {
+		t.Errorf("test_cells_done = %q, want 3", vals["test_cells_done"])
+	}
+
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "\"memstats\"") {
+		t.Errorf("/debug/vars missing memstats: %.100s", body)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing goroutine profile: %.100s", body)
+	}
+
+	body, _ = get("/")
+	if !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing endpoint list: %q", body)
+	}
+}
+
+// TestWarnDropped: zero drops print nothing; nonzero drops print the
+// one shared overflow note, word for word.
+func TestWarnDropped(t *testing.T) {
+	var buf bytes.Buffer
+	WarnDropped(&buf, 0)
+	if buf.Len() != 0 {
+		t.Errorf("zero drops printed %q", buf.String())
+	}
+	WarnDropped(&buf, 17)
+	want := "note: event ring overflowed, 17 oldest events dropped (raise EventCap)\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// TestHeapWatchObservesSpike: the background watcher raises the peak
+// past a spike that no cell boundary observes.
+func TestHeapWatchObservesSpike(t *testing.T) {
+	c := NewCollector()
+	before := c.PeakHeap()
+	stop := c.StartHeapWatch(time.Millisecond)
+	defer stop()
+	// Touch every page so the allocations cannot be elided.
+	spike := make([][]byte, 64)
+	for i := range spike {
+		spike[i] = make([]byte, 1<<20)
+		for j := 0; j < len(spike[i]); j += 4096 {
+			spike[i][j] = byte(i)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.PeakHeap() < before+(32<<20) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.PeakHeap() < before+(32<<20) {
+		t.Errorf("peak %d never caught the %d-byte spike above baseline %d",
+			c.PeakHeap(), len(spike)<<20, before)
+	}
+	runtime.KeepAlive(spike)
+	stop()
+	stop() // double-stop must be safe
+}

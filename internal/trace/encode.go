@@ -66,6 +66,29 @@ func fu(v uint64) string  { return strconv.FormatUint(v, 10) }
 func fi(v int) string     { return strconv.Itoa(v) }
 func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// appendSampleRow appends one sample's CSV cells to row in
+// seriesHeader order. The batch writer and the streaming sink
+// (stream.go) both build rows here, so the two paths can never
+// produce different bytes for the same sample.
+func appendSampleRow(row []string, s *Sample) []string {
+	row = append(row, fu(s.Tick), s.Phase, fi(s.VM), fi(s.Run))
+	for o := 0; o < NumOrders; o++ {
+		row = append(row, ff(s.FMFI[o]))
+	}
+	for o := 0; o < NumOrders; o++ {
+		row = append(row, fu(s.FreeBlocks[o]))
+	}
+	return append(row,
+		fu(s.FreePages),
+		fu(s.MappedPages), fu(s.HugeMappedPages), ff(s.HugeCoverage),
+		fu(s.EPTMappedPages), fu(s.EPTHugeMappedPages),
+		fu(s.TLBHits), fu(s.TLBMisses), fu(s.TLBMiss4K), fu(s.TLBMiss2M), fu(s.WalkCycles),
+		fi(s.Bookings), fi(s.BookingTimeout), fu(s.BookingsExpired),
+		fi(s.BucketLen), fu(s.BucketReused), fu(s.BucketTaken),
+		fu(s.MigratedPages), fu(s.CompactedRegions), fu(s.PromoterScans),
+	)
+}
+
 // WriteSeriesCSV writes the sample series with a fixed header row.
 func WriteSeriesCSV(w io.Writer, samples []Sample) error {
 	cw := csv.NewWriter(w)
@@ -74,24 +97,7 @@ func WriteSeriesCSV(w io.Writer, samples []Sample) error {
 	}
 	row := make([]string, 0, len(seriesHeader()))
 	for i := range samples {
-		s := &samples[i]
-		row = row[:0]
-		row = append(row, fu(s.Tick), s.Phase, fi(s.VM), fi(s.Run))
-		for o := 0; o < NumOrders; o++ {
-			row = append(row, ff(s.FMFI[o]))
-		}
-		for o := 0; o < NumOrders; o++ {
-			row = append(row, fu(s.FreeBlocks[o]))
-		}
-		row = append(row,
-			fu(s.FreePages),
-			fu(s.MappedPages), fu(s.HugeMappedPages), ff(s.HugeCoverage),
-			fu(s.EPTMappedPages), fu(s.EPTHugeMappedPages),
-			fu(s.TLBHits), fu(s.TLBMisses), fu(s.TLBMiss4K), fu(s.TLBMiss2M), fu(s.WalkCycles),
-			fi(s.Bookings), fi(s.BookingTimeout), fu(s.BookingsExpired),
-			fi(s.BucketLen), fu(s.BucketReused), fu(s.BucketTaken),
-			fu(s.MigratedPages), fu(s.CompactedRegions), fu(s.PromoterScans),
-		)
+		row = appendSampleRow(row[:0], &samples[i])
 		if err := cw.Write(row); err != nil {
 			return err
 		}

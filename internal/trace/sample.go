@@ -94,11 +94,15 @@ func (r *Recorder) SampleFinal(tick uint64) bool {
 }
 
 // AddSample appends one gauge snapshot, stamping the recorder's
-// current tick and phase. Callers fill every other field.
+// current tick and phase. Callers fill every other field. A streaming
+// recorder also encodes the row onto the live sink.
 func (r *Recorder) AddSample(s Sample) {
 	s.Tick = r.lastSampled
 	s.Phase = r.phase
 	r.samples = append(r.samples, s)
+	if r.sink != nil {
+		r.sink.sample(s)
+	}
 }
 
 // Samples returns the retained series in tick order.

@@ -26,13 +26,21 @@
 // shards were filled in: a traced grid produces byte-identical output
 // at any parallelism.
 //
+// A recorder can also stream (stream.go): StreamTo attaches live JSONL
+// event / CSV series writers that receive every record incrementally
+// as it is pushed, with shard spools spliced in run order at the merge
+// barrier — so streamed output equals the end-of-run export whenever
+// the recorder's bounds were never exceeded, at any parallelism.
+//
 // See DESIGN.md §2 (system inventory, "flight recorder") and §5 for
 // how tracing preserves run determinism.
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -206,13 +214,20 @@ type Recorder struct {
 	// shards may be requested from concurrent workers.
 	mu     sync.Mutex
 	shards []*shard
+
+	// sink is the live streaming state (stream.go); nil when the
+	// recorder is not streaming.
+	sink *streamSink
 }
 
 // shard couples one child recorder with its stable run tag and label.
+// When the parent streams, spoolE/spoolS hold the shard's privately
+// encoded bytes until MergeShards splices them into the parent stream.
 type shard struct {
-	run   int
-	label string
-	rec   *Recorder
+	run            int
+	label          string
+	rec            *Recorder
+	spoolE, spoolS *bytes.Buffer
 }
 
 // NewRecorder builds a recorder with the given bounds.
@@ -270,7 +285,26 @@ func (r *Recorder) Shard(run int, label string) *Recorder {
 		}
 	}
 	child := NewRecorder(r.cfg)
-	r.shards = append(r.shards, &shard{run: run, label: label, rec: child})
+	sh := &shard{run: run, label: label, rec: child}
+	if r.sink != nil {
+		// A streaming parent gives the child a spool sink: the shard
+		// encodes its records privately (with its run tag stamped, as
+		// the batch merge would) and MergeShards splices the spools
+		// into the parent stream in run order. Only the facets the
+		// parent streams are spooled, and no header row is written —
+		// the parent already wrote it.
+		var ev, sm io.Writer
+		if r.sink.events != nil {
+			sh.spoolE = new(bytes.Buffer)
+			ev = sh.spoolE
+		}
+		if r.sink.series != nil {
+			sh.spoolS = new(bytes.Buffer)
+			sm = sh.spoolS
+		}
+		child.sink = newStreamSink(ev, sm, run, true)
+	}
+	r.shards = append(r.shards, sh)
 	return child
 }
 
@@ -292,10 +326,13 @@ func (r *Recorder) MergeShards() {
 	r.mu.Unlock()
 	sort.Slice(shards, func(i, j int) bool { return shards[i].run < shards[j].run })
 	for _, s := range shards {
+		// The mark goes through push so a streaming parent emits it
+		// live; the shard's own events re-enter the ring only (the
+		// stream already carries them, run-stamped, in the spool).
 		r.push(Event{Tick: r.now, Type: EvPhaseStart, VM: -1, Run: s.run, Reason: "mark:" + s.label})
 		for _, e := range s.rec.Events() {
 			e.Run = s.run
-			r.push(e)
+			r.pushRing(e)
 		}
 		r.dropped += s.rec.dropped
 		for _, smp := range s.rec.Samples() {
@@ -304,6 +341,12 @@ func (r *Recorder) MergeShards() {
 		}
 		if s.rec.every > r.every {
 			r.every = s.rec.every
+		}
+		if r.sink != nil && s.rec.sink != nil {
+			s.rec.sink.flushAll()
+			r.sink.fail(s.rec.sink.err)
+			r.sink.spliceEvents(s.spoolE)
+			r.sink.spliceSeries(s.spoolS)
 		}
 	}
 }
@@ -314,8 +357,19 @@ func (r *Recorder) Handle(vm int, layer string) *Handle {
 	return &Handle{r: r, vm: vm, layer: layer}
 }
 
-// push appends an event, overwriting the oldest when the ring is full.
+// push appends an event to the ring and, when streaming, onto the
+// live sink.
 func (r *Recorder) push(e Event) {
+	r.pushRing(e)
+	if r.sink != nil {
+		r.sink.event(e)
+	}
+}
+
+// pushRing appends an event to the ring only, overwriting the oldest
+// when full. MergeShards uses it to re-home shard events whose bytes
+// the stream already carries.
+func (r *Recorder) pushRing(e Event) {
 	if r.length < len(r.ring) {
 		r.ring[(r.start+r.length)%len(r.ring)] = e
 		r.length++

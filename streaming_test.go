@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestStreamedGridMatchesBatch locks the end-to-end streaming contract
+// at the grid level: an experiment grid streamed live to its sinks
+// writes the exact bytes the batch exporters produce, sequentially and
+// under parallel shard merges. Telemetry rides along — the collector
+// must see every cell and the progress counter must reach the grid
+// size — without perturbing the traced output.
+func TestStreamedGridMatchesBatch(t *testing.T) {
+	opts := func() Options {
+		return Options{
+			Quick:     true,
+			Requests:  400,
+			Seed:      42,
+			Workloads: []string{"masstree", "redis"},
+		}
+	}
+	const cells = 6 // 2 workloads × 3 Breakdown systems × 1 setting
+
+	batch := func(parallel int) (jsonl, csv []byte) {
+		o := opts()
+		o.Parallel = parallel
+		rec := NewTraceRecorder(TraceConfig{SampleEvery: 64})
+		o.Trace = rec
+		if rows := Breakdown(o); len(rows) != cells {
+			t.Fatalf("Breakdown returned %d rows, want %d", len(rows), cells)
+		}
+		var eb, sb bytes.Buffer
+		if err := WriteTraceEvents(&eb, rec.Events()); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTraceSeries(&sb, rec.Samples()); err != nil {
+			t.Fatal(err)
+		}
+		return eb.Bytes(), sb.Bytes()
+	}
+	streamed := func(parallel int) (jsonl, csv []byte) {
+		o := opts()
+		o.Parallel = parallel
+		rec := NewTraceRecorder(TraceConfig{SampleEvery: 64})
+		var eb, sb bytes.Buffer
+		if err := rec.StreamTo(&eb, &sb); err != nil {
+			t.Fatal(err)
+		}
+		o.Trace = rec
+		o.Stats = telemetry.NewCollector()
+		o.Progress = telemetry.NewProgress(nil, "test")
+		if rows := Breakdown(o); len(rows) != cells {
+			t.Fatalf("Breakdown returned %d rows, want %d", len(rows), cells)
+		}
+		if err := rec.FlushStream(); err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Progress.Done(); got != cells {
+			t.Errorf("progress counted %d cells done, want %d", got, cells)
+		}
+		stats := o.Stats.Cells()
+		if len(stats) != cells {
+			t.Fatalf("collector recorded %d cells, want %d", len(stats), cells)
+		}
+		for _, c := range stats {
+			if c.Ticks == 0 {
+				t.Errorf("cell %q recorded 0 ticks", c.Name)
+			}
+			if !strings.Contains(c.Name, "×") {
+				t.Errorf("cell name %q missing grid-label separator", c.Name)
+			}
+		}
+		return eb.Bytes(), sb.Bytes()
+	}
+
+	wantJSONL, wantCSV := batch(1)
+	if len(wantJSONL) == 0 || len(wantCSV) == 0 {
+		t.Fatalf("batch grid recorded nothing: %d JSONL bytes, %d CSV bytes", len(wantJSONL), len(wantCSV))
+	}
+	for _, parallel := range []int{1, 4} {
+		gotJSONL, gotCSV := streamed(parallel)
+		if !bytes.Equal(gotJSONL, wantJSONL) {
+			t.Errorf("Parallel=%d: streamed JSONL differs from batch (%d vs %d bytes)",
+				parallel, len(gotJSONL), len(wantJSONL))
+		}
+		if !bytes.Equal(gotCSV, wantCSV) {
+			t.Errorf("Parallel=%d: streamed CSV differs from batch (%d vs %d bytes)",
+				parallel, len(gotCSV), len(wantCSV))
+		}
+	}
+}
