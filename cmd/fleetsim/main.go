@@ -62,6 +62,7 @@ func main() {
 	rebalanceEvery := flag.Int("rebalance-every", 32, "ticks between migration triggers (negative = off)")
 	rebalanceGap := flag.Float64("rebalance-gap", 0.25, "max-min RAM utilisation gap that triggers a migration")
 	auditRuns := flag.Bool("audit", false, "run the fleet and per-host invariant audits (slower; fails loudly on corruption)")
+	fastForward := flag.Bool("fastforward", true, "take the closed-form idle tick on hosts reporting an idle horizon; -fastforward=false forces dense ticking (bit-identical output either way)")
 	parallel := flag.Int("parallel", 0, "hosts stepped concurrently per tick (0 = GOMAXPROCS); results are identical at any value")
 	traceOut := flag.String("trace", "", "write the merged event trace as JSONL to FILE")
 	seriesOut := flag.String("series", "", "write the per-tick sample series as CSV to FILE")
@@ -100,13 +101,14 @@ func main() {
 			MeanInterarrival: *meanGap,
 			MeanLifetime:     *meanLife,
 		},
-		RequestsPerVMTick: *reqsPerTick,
-		DrainTicks:        *drain,
-		RebalanceEvery:    *rebalanceEvery,
-		RebalanceGap:      *rebalanceGap,
-		Audit:             *auditRuns,
-		Parallel:          par,
-		Seed:              *seed,
+		RequestsPerVMTick:  *reqsPerTick,
+		DrainTicks:         *drain,
+		RebalanceEvery:     *rebalanceEvery,
+		RebalanceGap:       *rebalanceGap,
+		Audit:              *auditRuns,
+		DisableFastForward: !*fastForward,
+		Parallel:           par,
+		Seed:               *seed,
 	}
 	if *traceOut != "" || *seriesOut != "" {
 		cfg.Trace = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})

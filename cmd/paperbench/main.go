@@ -73,6 +73,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
 	auditRuns := flag.Bool("audit", false, "run the cross-layer invariant audit during every run (slower; fails loudly on corruption)")
+	fastForward := flag.Bool("fastforward", true, "fast-forward idle tick stretches with the event-driven clock; -fastforward=false forces dense ticking (bit-identical output either way)")
 	vms := flag.Int("vms", 4, "VM count for the manyvms experiment")
 	jsonOut := flag.String("json", "", "write the figure grids as a paperbench/v1 JSON report to FILE")
 	validateJSON := flag.String("validate-json", "", "validate an existing paperbench/v1 JSON report and exit")
@@ -118,7 +119,8 @@ func main() {
 	}
 	fmt.Printf("# generated by: go run ./cmd/paperbench -exp %s -seed %d%s\n\n", *exp, *seed, quickFlag)
 
-	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel, Audit: *auditRuns}
+	o := repro.Options{Seed: *seed, Quick: *quick, Parallel: *parallel, Audit: *auditRuns,
+		DisableFastForward: !*fastForward}
 	if *traceOut != "" || *seriesOut != "" {
 		o.Trace = repro.NewTraceRecorder(repro.TraceConfig{SampleEvery: *sampleEvery})
 	}

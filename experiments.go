@@ -30,6 +30,11 @@ type Options struct {
 	Quick bool
 	// Parallel bounds concurrent runs (default: GOMAXPROCS).
 	Parallel int
+	// DisableFastForward forces every run onto the dense tick path
+	// (sim.Config.DisableFastForward / fleet.Config.DisableFastForward).
+	// Results are bit-identical either way; the flag exists as an
+	// escape hatch and for cross-check tests.
+	DisableFastForward bool
 	// Audit enables the cross-layer invariant audit in every run
 	// (sim.Config.Audit): periodic full audits plus one at completion,
 	// panicking with a report on the first violation.
@@ -327,7 +332,8 @@ func cellConfig(o Options, j gridJob[workload.Spec]) Config {
 		System: j.System, Workload: j.Unit,
 		Fragmented: j.Setting.Fragmented, ReusedVM: j.Setting.ReusedVM,
 		Requests: o.requests(), Seed: o.seed(), Audit: o.Audit,
-		Trace: j.Trace,
+		DisableFastForward: o.DisableFastForward,
+		Trace:              j.Trace,
 	}
 }
 
@@ -475,7 +481,8 @@ func Colocated(o Options) map[string][]ColocatedRow {
 				System: j.System, WorkloadA: a, WorkloadB: b,
 				Fragmented: j.Setting.Fragmented,
 				Requests:   o.requests(), Seed: o.seed(), Audit: o.Audit,
-				Trace:      j.Trace,
+				DisableFastForward: o.DisableFastForward,
+				Trace:              j.Trace,
 			})
 			return ColocatedRow{A: ra, B: rb}
 		})
@@ -526,12 +533,13 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 				vms[i] = sim.VMConfig{System: j.System, Workload: o.quickSpec(mix[i%len(mix)])}
 			}
 			rs := sim.NewEngine(sim.EngineConfig{
-				VMs:        vms,
-				Fragmented: j.Setting.Fragmented,
-				Requests:   o.requests(),
-				Seed:       o.seed(),
-				Audit:      o.Audit,
-				Trace:      j.Trace,
+				VMs:                vms,
+				Fragmented:         j.Setting.Fragmented,
+				Requests:           o.requests(),
+				Seed:               o.seed(),
+				Audit:              o.Audit,
+				DisableFastForward: o.DisableFastForward,
+				Trace:              j.Trace,
 			}).Run()
 			return ManyVMRow{System: j.System.String(), Results: rs}
 		})

@@ -136,6 +136,41 @@ func TestReadBenchReportBadJSON(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsNaNResultRoundTrip pins the -validate-json
+// backstop for the Requests==0 division bug: a Result whose ratio
+// fields went NaN (the historic Engine.results() zero-division) must
+// be rejected by Validate both directly and after the full
+// WriteJSON/ReadBenchReport round trip that `paperbench
+// -validate-json FILE` exercises. The engine itself can no longer
+// produce such a Result (TestResultsFiniteWithZeroMeasurement), so
+// this guards against any future metric source reintroducing one.
+func TestValidateRejectsNaNResultRoundTrip(t *testing.T) {
+	r := sampleReport()
+	bad := Result{
+		System: "THP", Workload: "redis",
+		Throughput:          math.NaN(), // 0 cycles / 0 requests
+		TLBMissesPerKAccess: math.NaN(), // 0 misses / 0 accesses
+		WalkCyclesPerAccess: math.NaN(),
+	}
+	r.Figures[0].Cells = append(r.Figures[0].Cells, ResultCell("fragmented", 1, bad))
+	if err := r.Validate(); err == nil {
+		t.Fatal("NaN Result cell accepted")
+	}
+	// JSON has no NaN literal; the writer must fail loudly rather than
+	// emit a file -validate-json would later choke on (or, if it does
+	// serialize, the reader must reject it). Either way the poisoned
+	// report cannot round-trip into a valid one.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err == nil {
+		got, err := ReadBenchReport(&buf)
+		if err == nil {
+			if err := got.Validate(); err == nil {
+				t.Fatal("NaN report survived the -validate-json round trip")
+			}
+		}
+	}
+}
+
 // TestResultCellCoversLegacyFields pins the metric-map contract: every
 // scalar Result field reported in the text tables is present in the
 // exported cell, so downstream plotting never silently loses a column.

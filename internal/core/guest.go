@@ -148,6 +148,18 @@ func (p *GuestPolicy) OnFreeHugeBlock(L *machine.Layer, frameBase uint64) bool {
 	return true
 }
 
+// TickIdleHorizon implements machine.TickDeadliner: GEMINI's guest
+// daemon does unconditional per-tick work (Algorithm 1's EMA control
+// step, booking expiry, contiguity-list refresh), so no future tick
+// is provably idle and the engine must tick machines running it
+// densely. Declared explicitly — rather than by omission — so the
+// fast-forward protocol's coverage is visible and locked by tests.
+func (p *GuestPolicy) TickIdleHorizon(*machine.Layer) int { return 0 }
+
+// AdvanceIdle implements machine.TickDeadliner; never invoked because
+// the horizon is always zero.
+func (p *GuestPolicy) AdvanceIdle(*machine.Layer, int) {}
+
 // Tick implements machine.Policy: booking lifecycle, Algorithm 1,
 // type-2 promotion, bucket expiry, and a conservative in-place
 // collapse pass.

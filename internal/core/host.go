@@ -106,6 +106,16 @@ func (p *HostPolicy) OnFault(L *machine.Layer, gpa uint64, v *machine.VMA) machi
 	return machine.Decision{Kind: mem.Base}
 }
 
+// TickIdleHorizon implements machine.TickDeadliner: the host daemon
+// runs MHPS's scan and the periodic contiguity refresh every tick
+// regardless of the promotion period, so it never declares idle ticks
+// (see GuestPolicy.TickIdleHorizon).
+func (p *HostPolicy) TickIdleHorizon(*machine.Layer) int { return 0 }
+
+// AdvanceIdle implements machine.TickDeadliner; never invoked because
+// the horizon is always zero.
+func (p *HostPolicy) AdvanceIdle(*machine.Layer, int) {}
+
 // Tick implements machine.Policy: run MHPS, then fix mis-aligned
 // guest huge pages — type-1 by eagerly installing huge EPT backings,
 // type-2 by steering EPT promotion to those regions first (MHPP),

@@ -1,0 +1,76 @@
+// Package fastdiv computes unsigned remainders by a fixed divisor
+// without a hardware divide on the hot path. A Divisor caches the
+// 128-bit reciprocal ceil(2^128 / d); Mod then costs two 64x64->128
+// multiplies and one multiply-subtract, several times cheaper than the
+// 20+ cycle latency of DIV on current x86-64 and arm64 cores.
+//
+// The access pipeline uses it for the two per-access divisions that
+// survived the flat-structure overhaul (DESIGN.md §7): the TLB set
+// index (page number mod Sets, with Sets = 192 not a power of two) and
+// the workload generators' draw-confinement (value mod footprint
+// limit). Both divisors change rarely — TLB geometry never, the
+// footprint limit only on gradual growth — so the reciprocal is
+// computed once and reused millions of times.
+//
+// Exactness (not approximation) is load-bearing: a remainder off by
+// one would pick a different TLB set or workload page and break the
+// bit-identical golden outputs. With c = ceil(2^128/d) = (2^128+e)/d
+// for some 0 < e <= d, floor(v*c / 2^128) = floor(v/d + v*e/(d*2^128))
+// and the error term is at most e/(d*2^64) <= 2^-64 < 1/d for every
+// 64-bit v, so the floor — and therefore the remainder — is exact for
+// the full uint64 range. TestModExhaustiveSmall and TestModCross lock
+// this against the hardware operator.
+package fastdiv
+
+import "math/bits"
+
+// Divisor is a fixed divisor with its precomputed reciprocal.
+type Divisor struct {
+	d uint64
+	// hi:lo is ceil(2^128 / d) for non-power-of-two d; mask is d-1
+	// when d is a power of two (where the reciprocal is bypassed).
+	hi, lo uint64
+	mask   uint64
+	pow2   bool
+}
+
+// New builds a Divisor for d. d must be nonzero.
+func New(d uint64) Divisor {
+	if d == 0 {
+		panic("fastdiv: zero divisor")
+	}
+	if d&(d-1) == 0 {
+		return Divisor{d: d, pow2: true, mask: d - 1}
+	}
+	// ceil(2^128/d) as a 128-bit value: the high word is
+	// floor(2^64/d) (equal to floor((2^64-1)/d) since d does not
+	// divide 2^64), the low word continues the long division with the
+	// remainder, and the final +1 rounds up (d never divides 2^128
+	// when it is not a power of two).
+	hi := ^uint64(0) / d
+	rem := ^uint64(0)%d + 1 // 2^64 mod d, in [1, d)
+	lo, _ := bits.Div64(rem, 0, d)
+	lo++
+	if lo == 0 {
+		hi++
+	}
+	return Divisor{d: d, hi: hi, lo: lo}
+}
+
+// D returns the divisor value.
+func (dv Divisor) D() uint64 { return dv.d }
+
+// Mod returns v % dv.D(), exactly, for any v.
+func (dv Divisor) Mod(v uint64) uint64 {
+	if dv.pow2 {
+		return v & dv.mask
+	}
+	// q = floor(v * (hi:lo) / 2^128). The 192-bit product's top word
+	// is hi*v plus the carry out of the middle word; the middle word's
+	// low half never influences the floor.
+	p1hi, _ := bits.Mul64(v, dv.lo)
+	p2hi, p2lo := bits.Mul64(v, dv.hi)
+	_, carry := bits.Add64(p2lo, p1hi, 0)
+	q := p2hi + carry
+	return v - q*dv.d
+}

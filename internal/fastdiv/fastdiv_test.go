@@ -1,0 +1,72 @@
+package fastdiv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestModExhaustiveSmall checks every (v, d) pair over a dense small
+// range, which covers all the carry/rounding paths in the reciprocal.
+func TestModExhaustiveSmall(t *testing.T) {
+	for d := uint64(1); d <= 512; d++ {
+		dv := New(d)
+		for v := uint64(0); v <= 2048; v++ {
+			if got, want := dv.Mod(v), v%d; got != want {
+				t.Fatalf("Mod(%d) with d=%d: got %d, want %d", v, d, got, want)
+			}
+		}
+	}
+}
+
+// TestModCross cross-checks the reciprocal against the hardware
+// operator on adversarial divisors and numerators: tiny, huge, near
+// powers of two, and the exact values the simulator uses (TLB Sets,
+// workload footprint limits).
+func TestModCross(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 5, 6, 7, 127, 192, 193, 255, 257, 4096, 65535, 65537,
+		1<<31 - 1, 1<<32 - 1, 1<<32 + 1, 1<<63 - 1, 1<<63 + 1,
+		math.MaxUint64 - 1, math.MaxUint64,
+		// workload-shaped limits: pages in 4MB..1GB footprints
+		1024, 8192, 262144, 196608, 49152,
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range divisors {
+		dv := New(d)
+		if dv.D() != d {
+			t.Fatalf("D() = %d, want %d", dv.D(), d)
+		}
+		edges := []uint64{0, 1, d - 1, d, d + 1, 2*d - 1, 2 * d, d * d,
+			1<<63 - 1, 1 << 63, math.MaxUint64 - 1, math.MaxUint64}
+		for _, v := range edges {
+			if got, want := dv.Mod(v), v%d; got != want {
+				t.Fatalf("Mod(%d) with d=%d: got %d, want %d", v, d, got, want)
+			}
+		}
+		for i := 0; i < 20000; i++ {
+			v := rng.Uint64()
+			if got, want := dv.Mod(v), v%d; got != want {
+				t.Fatalf("Mod(%d) with d=%d: got %d, want %d", v, d, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroDivisorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkMod(b *testing.B) {
+	dv := New(192)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += dv.Mod(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}

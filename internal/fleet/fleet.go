@@ -57,6 +57,11 @@ type Config struct {
 	// RequestsPerVMTick is the foreground requests each resident VM
 	// serves per fleet tick (default 4).
 	RequestsPerVMTick int
+	// DisableFastForward forces dense host ticking instead of the
+	// closed-form idle tick taken when a host machine reports an idle
+	// horizon. Results are bit-identical either way; the switch exists
+	// as an escape hatch and for the cross-check tests.
+	DisableFastForward bool
 	// DrainTicks keeps the fleet ticking after the last arrival so
 	// coalescing settles; departures beyond that window never fire
 	// (default 32).
@@ -500,13 +505,23 @@ func (f *Fleet) migrate(tick uint64, id, dst int) {
 // quantum, the host's daemons tick, and gauges sample on the stride.
 func (f *Fleet) stepHost(h *host) {
 	for _, id := range h.resident {
-		v := f.vms[id]
-		for r := 0; r < f.cfg.RequestsPerVMTick; r++ {
-			h.reqCycles += v.w.StepOne()
-			h.reqs++
-		}
+		// A VM's whole per-tick quantum runs through the vectorized
+		// StepN core in one call; VMs still run strictly in resident
+		// order, so host frame allocation is order-identical to the
+		// per-request loop.
+		h.reqCycles += f.vms[id].w.StepN(f.cfg.RequestsPerVMTick, nil)
+		h.reqs += uint64(f.cfg.RequestsPerVMTick)
 	}
-	h.m.Tick()
+	// Fleet machines tick densely (requests arrive every tick), but
+	// the deadline protocol still pays on hosts that are empty or
+	// fully quiescent between arrivals: a proven-idle tick advances
+	// the clock in closed form instead of walking every layer.
+	// IdleHorizon's guarantee makes the two paths bit-identical.
+	if !f.cfg.DisableFastForward && h.m.IdleHorizon(1) >= 1 {
+		h.m.AdvanceTicks(1)
+	} else {
+		h.m.Tick()
+	}
 	if h.rec != nil && h.rec.SampleTick(h.m.Ticks) {
 		f.captureHost(h)
 	}

@@ -44,6 +44,12 @@ func TestAccessSteadyStateZeroAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(5000, func() { w.StepOne() }); n != 0 {
 		t.Fatalf("steady-state access allocated %v allocs/run, want 0", n)
 	}
+	// The batched path shares the invariant: a whole StepN batch —
+	// page draws into the preallocated buffers, one AccessN pass,
+	// churn bookkeeping — allocates nothing in steady state.
+	if n := testing.AllocsPerRun(500, func() { w.StepN(16, nil) }); n != 0 {
+		t.Fatalf("steady-state StepN batch allocated %v allocs/run, want 0", n)
+	}
 }
 
 // TestAccessSteadyStateZeroAllocsStreaming extends the zero-alloc pin

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 	"repro/internal/policy"
+	"repro/internal/sim"
 	"repro/internal/tlb"
 	"repro/internal/workload"
 )
@@ -37,6 +38,8 @@ func Suite() []Case {
 		{"AccessSteadyState", benchAccessSteadyState},
 		{"AccessUncached", benchAccessUncached},
 		{"FullFault", benchFullFault},
+		{"MicroSweep", benchMicroSweep},
+		{"MicroSweepScalar", benchMicroSweepScalar},
 	}
 }
 
@@ -171,6 +174,51 @@ func benchAccessUncached(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w.StepOne()
+	}
+}
+
+// microSink keeps the compiler from eliding the sweep results.
+var microSink sim.MicroResult
+
+// runMicroSweep executes one full Figure 2 quick-grid sweep — every
+// page-size configuration at every -quick dataset size, end to end
+// (machine build, populate, warm, measure), exactly the cells
+// `paperbench -exp motivation -quick` runs. This is the unit the
+// "sweeps/sec" headline is quoted in.
+func runMicroSweep() {
+	for _, mb := range [3]int{4, 32, 128} {
+		for _, c := range [4][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+			microSink = sim.RunMicro(sim.MicroConfig{
+				GuestHuge: c[0], HostHuge: c[1], DatasetMB: mb, Seed: 1,
+			})
+		}
+	}
+}
+
+// benchMicroSweep measures end-to-end Figure 2 sweeps per second down
+// the default vectorized path: page draws batched into precomputed
+// address streams and fed to AccessN, keeping the TLB probe and
+// walk-cache loop in cache across a whole request batch.
+func benchMicroSweep(b *testing.B) {
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMicroSweep()
+	}
+}
+
+// benchMicroSweepScalar measures the identical sweep down the scalar
+// one-access-at-a-time reference path (workload.SetVectorized(false)).
+// The MicroSweep/MicroSweepScalar ratio is the vectorization speedup
+// quoted in EXPERIMENTS.md; both paths produce bit-identical results,
+// so only the ratio — never the output — depends on the toggle.
+func benchMicroSweepScalar(b *testing.B) {
+	prev := workload.SetVectorized(false)
+	defer workload.SetVectorized(prev)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runMicroSweep()
 	}
 }
 

@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// periodicPolicy does observable background work every period-th Tick
+// and exposes the TickDeadliner deadline for the idle ticks between
+// actions — the minimal shape of the real periodic policies (THP,
+// Ingens, HawkEye, CA-paging) with every action made visible in layer
+// state so a divergence cannot hide.
+type periodicPolicy struct {
+	period int
+	count  int
+	acted  int
+}
+
+func (p *periodicPolicy) Name() string                          { return "periodic" }
+func (p *periodicPolicy) OnFault(*Layer, uint64, *VMA) Decision { return Decision{Kind: mem.Base} }
+
+func (p *periodicPolicy) Tick(L *Layer) {
+	p.count++
+	if p.count%p.period == 0 {
+		p.acted++
+		L.AddStall(100)
+		L.Stats.BackgroundCycles += 7
+	}
+}
+
+func (p *periodicPolicy) TickIdleHorizon(*Layer) int {
+	return p.period - 1 - p.count%p.period
+}
+
+func (p *periodicPolicy) AdvanceIdle(_ *Layer, n int) { p.count += n }
+
+// TestAdvanceTicksMatchesDense pins the AdvanceTicks contract: driving
+// the tick clock through the IdleHorizon/AdvanceTicks fast-forward
+// loop (exactly as the sim engines do) leaves the machine bit-identical
+// to dense per-tick stepping — same tick count, policy phase, stall
+// backlog, stats, heat, and identical behaviour on every subsequent
+// access.
+func TestAdvanceTicksMatchesDense(t *testing.T) {
+	build := func() (*Machine, *VM, []uint64) {
+		m := NewMachine(testHostPages, DefaultCosts())
+		vm := m.AddVM(testGuestPages,
+			&periodicPolicy{period: 5}, &periodicPolicy{period: 12},
+			tlb.DefaultConfig())
+		v := vm.Guest.Space.MMap(512*mem.PageSize, 0)
+		addrs := make([]uint64, 0, 512)
+		for pn := uint64(0); pn < 512; pn++ {
+			addrs = append(addrs, v.Start+pn*mem.PageSize)
+		}
+		return m, vm, addrs
+	}
+	mDense, vmDense, addrs := build()
+	mFF, vmFF, _ := build()
+
+	access := func(vm *VM, round int) uint64 {
+		var total uint64
+		for i, va := range addrs {
+			if (i+round)%3 == 0 { // skew heat across regions
+				continue
+			}
+			total += vm.Access(va)
+		}
+		return total
+	}
+	advanceDense := func(n int) {
+		for i := 0; i < n; i++ {
+			mDense.Tick()
+		}
+	}
+	// advanceFF replays the engine's fast-forward loop: jump over spans
+	// the machine proves idle, tick densely at each action boundary.
+	advanceFF := func(n int) {
+		jumped := false
+		for rem := n; rem > 0; {
+			if k := mFF.IdleHorizon(rem); k > 0 {
+				mFF.AdvanceTicks(k)
+				rem -= k
+				jumped = true
+			} else {
+				mFF.Tick()
+				rem--
+			}
+		}
+		if !jumped {
+			t.Fatalf("IdleHorizon never exceeded 0 over %d ticks; fast-forward path untested", n)
+		}
+	}
+
+	// Interleave access bursts with tick spans so decay, stall draining,
+	// and policy phase all interact across fast-forward boundaries.
+	for round, span := range []int{37, 64, 1, 36} {
+		if access(vmDense, round) != access(vmFF, round) {
+			t.Fatalf("round %d: access cycles diverged before span %d", round, span)
+		}
+		advanceDense(span)
+		advanceFF(span)
+	}
+
+	if mDense.Ticks != mFF.Ticks {
+		t.Fatalf("tick clocks diverged: dense %d, fast-forward %d", mDense.Ticks, mFF.Ticks)
+	}
+	layers := func(vm *VM) [2]*Layer { return [2]*Layer{vm.Guest, vm.EPT} }
+	ld, lf := layers(vmDense), layers(vmFF)
+	for i := range ld {
+		d, f := ld[i], lf[i]
+		pd, pf := d.Policy.(*periodicPolicy), f.Policy.(*periodicPolicy)
+		if pd.count != pf.count || pd.acted != pf.acted {
+			t.Fatalf("%s policy phase diverged: dense (%d,%d), fast-forward (%d,%d)",
+				d.Name, pd.count, pd.acted, pf.count, pf.acted)
+		}
+		if d.stall != f.stall {
+			t.Fatalf("%s stall backlog diverged: dense %d, fast-forward %d", d.Name, d.stall, f.stall)
+		}
+		if !reflect.DeepEqual(d.Stats, f.Stats) {
+			t.Fatalf("%s stats diverged:\ndense %+v\nfast  %+v", d.Name, d.Stats, f.Stats)
+		}
+		for _, va := range addrs {
+			if d.Heat(va) != f.Heat(va) {
+				t.Fatalf("%s heat diverged at %#x: dense %d, fast-forward %d",
+					d.Name, va, d.Heat(va), f.Heat(va))
+			}
+		}
+	}
+	if !reflect.DeepEqual(vmDense.TLB.Stats(), vmFF.TLB.Stats()) {
+		t.Fatalf("TLB stats diverged:\ndense %+v\nfast  %+v", vmDense.TLB.Stats(), vmFF.TLB.Stats())
+	}
+
+	// Post-advance behaviour must match too: the fast-forwarded machine
+	// is not merely summarily consistent, it is the same machine.
+	if a, b := access(vmDense, 99), access(vmFF, 99); a != b {
+		t.Fatalf("post-advance access cycles diverged: dense %d, fast-forward %d", a, b)
+	}
+}

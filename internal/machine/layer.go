@@ -213,6 +213,40 @@ func (L *Layer) DecayHeat() {
 	}
 }
 
+// DecayHeatN applies k halvings in one pass — the closed form of k
+// DecayHeat calls with no interleaved accesses, used when the tick
+// clock fast-forwards over an idle span (Machine.AdvanceTicks).
+func (L *Layer) DecayHeatN(k int) {
+	if k <= 0 {
+		return
+	}
+	if k >= 64 {
+		// Every counter reaches zero within 64 halvings.
+		for i, v := range L.heat {
+			if v != 0 {
+				L.heat[i] = 0
+			}
+		}
+		return
+	}
+	sh := uint(k)
+	for i, v := range L.heat {
+		if v != 0 {
+			L.heat[i] = v >> sh
+		}
+	}
+}
+
+// compactionIdle reports whether RunCompaction with this watermark
+// would return without scanning: the order-9 reserve is already met,
+// or there is not enough free slack to migrate into. It is the single
+// source for RunCompaction's early-out and for Machine.IdleHorizon's
+// busy check, so the two cannot drift.
+func (L *Layer) compactionIdle(lowWatermark uint64) bool {
+	return L.Buddy.FreeHugeCandidates() >= lowWatermark ||
+		L.Buddy.FreePages() < 2*mem.PagesPerHuge
+}
+
 // regionInVMABounds reports whether the whole 2 MiB region starting at
 // hugeBase lies inside VMA v.
 func regionInVMABounds(hugeBase uint64, v *VMA) bool {
@@ -641,11 +675,8 @@ func (L *Layer) CompactRegion(hugeIdx uint64) bool {
 // low, sweep for a compactable region (bounded scan) and free it.
 // Returns true when a block was produced.
 func (L *Layer) RunCompaction(lowWatermark uint64, scanBudget int) bool {
-	if L.Buddy.FreeHugeCandidates() >= lowWatermark {
+	if L.compactionIdle(lowWatermark) {
 		return false
-	}
-	if L.Buddy.FreePages() < 2*mem.PagesPerHuge {
-		return false // not enough slack to migrate into
 	}
 	nRegions := L.Buddy.TotalPages() / mem.PagesPerHuge
 	for i := 0; i < scanBudget; i++ {

@@ -33,6 +33,9 @@ type VM struct {
 	// wc is the software walk cache accelerating Access; see
 	// walkcache.go. A zero wc (nil entries) means disabled.
 	wc walkCache
+	// bat stages resolved translations for AccessN's two-pass batch
+	// loop; allocated on the first batched access.
+	bat accessBatch
 	// wcArena is the pooled backing store of wc.entries.
 	wcArena *wcArena
 }
@@ -225,6 +228,123 @@ func (vm *VM) Access(gva uint64) uint64 {
 	return vm.accessUncached(gva)
 }
 
+// accessBatchChunk bounds how many pre-resolved translations AccessN
+// hands the TLB batch kernel at once; it also sizes the VM's reusable
+// staging buffers (~7 KiB).
+const accessBatchChunk = 1024
+
+// accessBatch is the per-VM staging area for AccessN's two-pass loop:
+// pass one resolves each address through the walk cache into these
+// parallel slices, pass two feeds them to tlb.AccessNestedBatch.
+// Allocated once, on the first batched access.
+type accessBatch struct {
+	gpa  []uint64
+	si   []uint32
+	meta []uint8 // tlb.PackKinds(eff, gKind, hKind), cached in the walk-cache entry
+}
+
+// AccessN performs one Access per address, in order, and returns the
+// total cycle cost — the batched entry point the workload layer's
+// StepN drives. The simulated work (fault decisions, heat bumps, PTE
+// marks, TLB updates, stall charges) is exactly per-address Access;
+// batching only changes wall time, in two ways. First, the
+// revalidation check, epoch, and entry-array pointer are hoisted out
+// of the loop and refreshed after any uncached access (the only point
+// table versions can move). Second, on the radix path each run of
+// walk-cache hits is split into two passes: pass one does the
+// per-address bookkeeping (heat, accessed bits, stall draining) and
+// stages the resolved translation, pass two runs the TLB batch kernel
+// over the staged run. Heat/PTE state and TLB state are disjoint and
+// nothing reads either until the batch returns, so the split leaves
+// every final state and cycle count identical to the interleaved
+// order; a walk-cache miss flushes the staged run to the TLB first,
+// keeping the uncached access's TLB view exactly sequential.
+// Hit-vs-miss in the software walk cache never changes simulated
+// cycles (§7.1's observer-effect invariant), so the hoist needs no
+// exactness argument beyond revalidate-after-miss.
+func (vm *VM) AccessN(gvas []uint64) uint64 {
+	var total uint64
+	if vm.wc.entries == nil {
+		for _, gva := range gvas {
+			total += vm.accessUncached(gva)
+		}
+		return total
+	}
+	if !vm.radix {
+		// Translation-replacing modes route through mode.Access;
+		// keep the straightforward hoisted loop.
+		vm.wcRevalidate()
+		entries := vm.wc.entries
+		epoch := vm.wc.epoch
+		for _, gva := range gvas {
+			ent := &entries[(gva>>mem.PageShift)&(walkCacheSize-1)]
+			if ent.epoch == epoch && ent.tag == gva>>mem.PageShift {
+				vm.Guest.heatBump(gva >> mem.HugeShift)
+				vm.EPT.heatBump(ent.gfn >> (mem.HugeShift - mem.PageShift))
+				ent.gRef.Mark()
+				ent.eRef.Mark()
+				gpa := ent.gfn*mem.PageSize + (gva & (mem.PageSize - 1))
+				res := vm.mode.Access(vm.TLB, gva, ent.eff, ent.gKind, ent.hKind, gpa)
+				total += res.Cycles + vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
+				continue
+			}
+			total += vm.accessUncached(gva)
+			vm.wcFill(gva)
+			vm.wcRevalidate()
+			epoch = vm.wc.epoch
+		}
+		return total
+	}
+	if vm.bat.gpa == nil {
+		vm.bat = accessBatch{
+			gpa:  make([]uint64, accessBatchChunk),
+			si:   make([]uint32, accessBatchChunk),
+			meta: make([]uint8, accessBatchChunk),
+		}
+	}
+	vm.wcRevalidate()
+	entries := vm.wc.entries
+	epoch := vm.wc.epoch
+	i := 0
+	for i < len(gvas) {
+		// Pass one: walk-cache bookkeeping for a run of cached hits.
+		start, n := i, 0
+		for i < len(gvas) && n < accessBatchChunk {
+			gva := gvas[i]
+			ent := &entries[(gva>>mem.PageShift)&(walkCacheSize-1)]
+			if ent.epoch != epoch || ent.tag != gva>>mem.PageShift {
+				break
+			}
+			vm.Guest.heatBump(gva >> mem.HugeShift)
+			vm.EPT.heatBump(ent.gfn >> (mem.HugeShift - mem.PageShift))
+			ent.gRef.Mark()
+			ent.eRef.Mark()
+			vm.bat.gpa[n] = ent.gfn*mem.PageSize + (gva & (mem.PageSize - 1))
+			vm.bat.si[n] = ent.tlbSet
+			vm.bat.meta[n] = ent.meta
+			total += vm.Guest.TakeStallQuantum() + vm.EPT.TakeStallQuantum()
+			n++
+			i++
+		}
+		// Pass two: the staged run through the TLB batch kernel.
+		if n > 0 {
+			total += vm.TLB.AccessNestedBatch(gvas[start:start+n],
+				vm.bat.gpa[:n], vm.bat.si[:n], vm.bat.meta[:n])
+		}
+		if n == accessBatchChunk || i >= len(gvas) {
+			continue
+		}
+		// Walk-cache miss: the staged run is flushed, so the uncached
+		// access sees the TLB exactly as the sequential order would.
+		total += vm.accessUncached(gvas[i])
+		vm.wcFill(gvas[i])
+		vm.wcRevalidate()
+		epoch = vm.wc.epoch
+		i++
+	}
+	return total
+}
+
 // accessUncached is the reference access path: demand-fault both
 // layers, walk both tables, and charge the TLB access. The walk cache
 // replays precisely this sequence of simulated work on a hit.
@@ -324,6 +444,85 @@ func reclaimTick(L *Layer) {
 		keep = func(va uint64) bool { return f.KeepHuge(L, va) }
 	}
 	L.ReclaimUnderPressure(low, 4, keep)
+}
+
+// reclaimIdle reports whether reclaimTick on this layer would be a
+// no-op: free memory is at or above the 2% pressure watermark, so
+// ReclaimUnderPressure returns before scanning. Shares the watermark
+// formula with reclaimTick so IdleHorizon cannot drift from it.
+func reclaimIdle(L *Layer) bool {
+	return L.Buddy.FreePages() >= L.Buddy.TotalPages()/50
+}
+
+// TickDeadliner is implemented by coalescing policies whose Tick work
+// is periodic: TickIdleHorizon reports how many upcoming Tick calls
+// are guaranteed no-ops given the layer's current state (0 = the very
+// next Tick may do work), and AdvanceIdle replays n such idle Ticks in
+// closed form (typically just advancing the policy's tick counter).
+// AdvanceIdle is only ever called with n <= the horizon just reported,
+// with no faults or accesses in between.
+//
+// Policies that do unconditional per-tick work (Ranger's list sweeps,
+// FHPM's queue pumps, GEMINI's EMA windows) either return 0 or simply
+// don't implement the interface — both mean every tick runs densely.
+// See DESIGN.md §7.4 for the full deadline model.
+type TickDeadliner interface {
+	TickIdleHorizon(L *Layer) int
+	AdvanceIdle(L *Layer, n int)
+}
+
+// IdleHorizon reports how many upcoming Ticks are provably no-ops for
+// every layer of every VM, capped at limit — the machine-level
+// deadline query behind event-driven fast-forward. It returns 0 when
+// any layer's compaction or pressure-reclaim quantum would run (those
+// depend on allocator state, not a schedule, so they pin the machine
+// to dense ticking while active) or when any policy does not expose a
+// deadline. The query is read-only.
+func (m *Machine) IdleHorizon(limit int) int {
+	h := limit
+	for _, vm := range m.VMs {
+		for _, L := range [2]*Layer{vm.Guest, vm.EPT} {
+			if h <= 0 {
+				return 0
+			}
+			if !L.compactionIdle(CompactionLowWatermark) || !reclaimIdle(L) {
+				return 0
+			}
+			d, ok := L.Policy.(TickDeadliner)
+			if !ok {
+				return 0
+			}
+			if n := d.TickIdleHorizon(L); n < h {
+				h = n
+			}
+		}
+	}
+	return h
+}
+
+// AdvanceTicks advances the tick clock by k provably-idle ticks in
+// closed form: the clock and recorder observe the same tick numbers
+// as k dense Tick calls, heat decays by k halvings, and each periodic
+// policy's counter advances by k. Callers must only pass k <=
+// IdleHorizon(k) with no intervening faults; under that contract the
+// machine state afterwards is bit-identical to k Ticks
+// (TestAdvanceTicksMatchesDense).
+func (m *Machine) AdvanceTicks(k int) {
+	if k <= 0 {
+		return
+	}
+	m.Ticks += uint64(k)
+	if m.Rec != nil {
+		m.Rec.SetNow(m.Ticks)
+	}
+	for _, vm := range m.VMs {
+		for _, L := range [2]*Layer{vm.Guest, vm.EPT} {
+			if d, ok := L.Policy.(TickDeadliner); ok {
+				d.AdvanceIdle(L, k)
+			}
+			L.DecayHeatN(k)
+		}
+	}
 }
 
 // AlignStats summarises huge-page alignment across the two layers of

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pagetable"
+	"repro/internal/tlb"
 )
 
 // This file implements the software walk cache that makes the access
@@ -56,6 +57,14 @@ type wcEntry struct {
 	gKind mem.PageSizeKind
 	hKind mem.PageSizeKind
 	eff   mem.PageSizeKind // TLB entry kind under the §2.2 alignment rule
+	// tlbSet is the precomputed TLB set index for (gva, eff) — it fits
+	// in the line's padding and saves the batch kernel a per-access
+	// modulo (tlb.SetIndexOf).
+	tlbSet uint32
+	// meta packs eff | gKind<<2 | hKind<<4 (tlb.PackKinds) so AccessN
+	// stages one byte per access instead of three kind slices; like
+	// tlbSet it lives in padding the 64-byte layout already paid for.
+	meta uint8
 }
 
 // walkCache is a per-VM direct-mapped cache of resolved translations.
@@ -184,13 +193,15 @@ func (vm *VM) wcFill(gva uint64) {
 		eff = vm.mode.EffectiveKind(gKind, hKind)
 	}
 	*ent = wcEntry{
-		tag:   gva >> mem.PageShift,
-		epoch: wc.epoch,
-		gfn:   gfn,
-		gRef:  gRef,
-		eRef:  eRef,
-		gKind: gKind,
-		hKind: hKind,
-		eff:   eff,
+		tag:    gva >> mem.PageShift,
+		epoch:  wc.epoch,
+		gfn:    gfn,
+		gRef:   gRef,
+		eRef:   eRef,
+		gKind:  gKind,
+		hKind:  hKind,
+		eff:    eff,
+		tlbSet: vm.TLB.SetIndexOf(gva, eff),
+		meta:   tlb.PackKinds(eff, gKind, hKind),
 	}
 }

@@ -46,10 +46,10 @@ const fuzzSpan = (8 << 20) >> mem.PageShift
 // version bump anywhere in pagetable's destructive ops) shows up as
 // a cycle or TLB-stat divergence.
 func FuzzWalkCacheInvalidation(f *testing.F) {
-	f.Add([]byte{0, 10, 1, 10, 0, 10})                         // access, promote, access
-	f.Add([]byte{0, 0, 2, 0, 0, 0})                            // access, demote, access
-	f.Add([]byte{0, 7, 3, 0, 0, 7, 0, 9})                      // unmap/remap cycle
-	f.Add([]byte{0, 1, 4, 0, 0, 1, 5, 0, 0, 2, 6, 1, 0, 3})    // ticks, reclaim, toggle
+	f.Add([]byte{0, 10, 1, 10, 0, 10})                          // access, promote, access
+	f.Add([]byte{0, 0, 2, 0, 0, 0})                             // access, demote, access
+	f.Add([]byte{0, 7, 3, 0, 0, 7, 0, 9})                       // unmap/remap cycle
+	f.Add([]byte{0, 1, 4, 0, 0, 1, 5, 0, 0, 2, 6, 1, 0, 3})     // ticks, reclaim, toggle
 	f.Add([]byte{0, 200, 1, 200, 4, 0, 0, 200, 2, 200, 0, 201}) // promote+tick+demote
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		mc, cached := twinVM()

@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/machine"
+)
+
+// This file implements machine.TickDeadliner for the policies whose
+// background work is periodic, enabling event-driven fast-forward
+// (DESIGN.md §7.4): the engine asks each layer how many upcoming daemon
+// ticks are provably no-ops and jumps the tick clock over them in one
+// step. A policy's horizon must be conservative — underestimating only
+// costs a dense (cheap, no-op) tick, overestimating would change
+// simulated state — so each horizon mirrors its Tick gate exactly.
+//
+// THP, HawkEye, Ingens, and CAPaging all gate on the same promotion
+// period: Tick increments a counter and returns unless it lands on a
+// PromotePeriod boundary. CAPaging additionally retries failed anchor
+// searches before the gate; that cleanup is idempotent across ticks
+// with no intervening faults, so k idle ticks collapse to one cleanup
+// plus a counter bump. BaseOnly and HugeOnly never do background work.
+// Ranger and FHPM do unconditional per-tick work (migration sweeps,
+// promotion-queue pumps) and deliberately do not implement the
+// interface, which pins their machines to dense ticking.
+
+// periodHorizon returns how many upcoming Tick calls a
+// counter-and-period gate will skip: with the counter at now, call i
+// (1-based) works iff (now+i) % period == 0, so the first period-1 -
+// now%period calls are idle. A period of 0 or 1 means every tick works.
+func periodHorizon(now uint64, period int) int {
+	if period <= 1 {
+		return 0
+	}
+	return int(uint64(period) - 1 - now%uint64(period))
+}
+
+// TickIdleHorizon implements machine.TickDeadliner.
+func (t *THP) TickIdleHorizon(*machine.Layer) int {
+	return periodHorizon(t.now, t.P.PromotePeriod)
+}
+
+// AdvanceIdle implements machine.TickDeadliner: a gated THP tick only
+// advances the scan clock.
+func (t *THP) AdvanceIdle(_ *machine.Layer, n int) { t.now += uint64(n) }
+
+// TickIdleHorizon implements machine.TickDeadliner.
+func (h *HawkEye) TickIdleHorizon(*machine.Layer) int {
+	return periodHorizon(h.now, h.P.PromotePeriod)
+}
+
+// AdvanceIdle implements machine.TickDeadliner.
+func (h *HawkEye) AdvanceIdle(_ *machine.Layer, n int) { h.now += uint64(n) }
+
+// TickIdleHorizon implements machine.TickDeadliner.
+func (g *Ingens) TickIdleHorizon(*machine.Layer) int {
+	return periodHorizon(g.now, g.P.PromotePeriod)
+}
+
+// AdvanceIdle implements machine.TickDeadliner.
+func (g *Ingens) AdvanceIdle(_ *machine.Layer, n int) { g.now += uint64(n) }
+
+// TickIdleHorizon implements machine.TickDeadliner.
+func (c *CAPaging) TickIdleHorizon(*machine.Layer) int {
+	return periodHorizon(c.now, c.P.PromotePeriod)
+}
+
+// AdvanceIdle implements machine.TickDeadliner: gated CAPaging ticks
+// clear failed anchor slots (idempotent — after one pass no noAnchor
+// entries remain and only faults create new ones) and advance the
+// clock.
+func (c *CAPaging) AdvanceIdle(_ *machine.Layer, n int) {
+	for id, a := range c.anchors {
+		if a == noAnchor {
+			delete(c.anchors, id)
+		}
+	}
+	c.now += uint64(n)
+}
+
+// TickIdleHorizon implements machine.TickDeadliner: BaseOnly has no
+// background daemon, so every future tick is idle.
+func (BaseOnly) TickIdleHorizon(*machine.Layer) int { return math.MaxInt }
+
+// AdvanceIdle implements machine.TickDeadliner.
+func (BaseOnly) AdvanceIdle(*machine.Layer, int) {}
+
+// TickIdleHorizon implements machine.TickDeadliner: HugeOnly promotes
+// at fault time only.
+func (HugeOnly) TickIdleHorizon(*machine.Layer) int { return math.MaxInt }
+
+// AdvanceIdle implements machine.TickDeadliner.
+func (HugeOnly) AdvanceIdle(*machine.Layer, int) {}

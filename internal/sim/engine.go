@@ -104,6 +104,12 @@ type EngineConfig struct {
 	AuditEvery int
 	// Seed drives all randomness through the seeding contract above.
 	Seed int64
+	// DisableFastForward forces dense ticking through the settle
+	// windows instead of jumping the tick clock over provably idle
+	// spans (DESIGN.md §7.4). Off (the zero value) means fast-forward
+	// is on; results, traces, and streamed output are bit-identical
+	// either way.
+	DisableFastForward bool
 	// Trace, when non-nil, attaches the flight recorder: every layer
 	// emits structured events into it, the engine stamps phase
 	// boundaries, and gauge samples are captured on the recorder's
@@ -164,6 +170,13 @@ func (ec EngineConfig) Validate() error {
 	if ec.Requests < 0 || ec.WarmupRequests < 0 || ec.RequestsPerTick < 0 ||
 		ec.RecoverEveryTicks < 0 || ec.AuditEvery < 0 {
 		return fmt.Errorf("sim: negative pacing parameter in %+v", ec)
+	}
+	if ec.Requests == 0 {
+		// A zero-request measure phase makes every per-request rate
+		// 0/0. NewEngine validates after applying defaults, so the
+		// zero value still means "default" there; an explicit
+		// Validate call sees the configuration as given.
+		return fmt.Errorf("sim: Requests must be positive (zero measures nothing)")
 	}
 	if ec.HostMemMB < 0 {
 		return fmt.Errorf("sim: negative memory size (host %d MB)", ec.HostMemMB)
@@ -233,15 +246,19 @@ const (
 	predecessorSettleTicks = 40
 )
 
-// NewEngine validates the configuration and builds the machine: host
-// memory, every VM with its policies and (for Gemini systems) its
-// coordinator, and the audit wiring. It panics when cfg fails
-// Validate.
+// NewEngine builds the machine from the configuration: host memory,
+// every VM with its policies and (for Gemini systems) its coordinator,
+// and the audit wiring. Defaults are applied first and the defaulted
+// configuration is then validated — in that order, so the zero value
+// of a field still selects its default while Validate can reject a
+// meaningless explicit value (Requests == 0 would measure nothing and
+// turn every per-request rate into 0/0). Panics when the defaulted
+// cfg fails Validate.
 func NewEngine(cfg EngineConfig) *Engine {
+	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	cfg = cfg.withDefaults()
 	hostPages := uint64(cfg.HostMemMB) << 20 >> mem.PageShift
 	e := &Engine{
 		cfg: cfg,
@@ -261,7 +278,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 		e.vms = append(e.vms, &engineVM{cfg: vc, vm: vm, gp: gp, coord: coord})
 	}
-	e.rec = &recovery{every: cfg.RecoverEveryTicks}
+	e.rec = &recovery{every: cfg.RecoverEveryTicks, disableFF: cfg.DisableFastForward}
 	if cfg.Trace != nil {
 		e.m.Rec = cfg.Trace
 		for i, ev := range e.vms {
@@ -269,6 +286,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			ev.vm.EPT.Trace = cfg.Trace.Handle(i, "ept")
 		}
 		e.rec.sampler = e.sample
+		e.rec.samplerNext = cfg.Trace.NextSampleTick
 	}
 	if cfg.Audit {
 		e.rec.auditEvery = cfg.AuditEvery
@@ -366,9 +384,14 @@ func (e *Engine) predecessorPhase() {
 		// as the paper's ~30 GB SVM run does on a 32 GB VM.
 		spec.FootprintMB = ev.cfg.GuestMemMB * 2 / 5
 		w := workload.New(spec, ev.vm, e.predecessorSeed(i))
-		for j := 0; j < e.cfg.Requests/4; j++ {
-			w.StepOne()
-			if j%e.cfg.RequestsPerTick == 0 {
+		p := newPacer(e.cfg.Requests/4, e.cfg.RequestsPerTick)
+		for {
+			b, tick := p.next()
+			if b == 0 {
+				break
+			}
+			w.StepN(b, nil)
+			if tick {
 				e.rec.tick(e.m)
 			}
 		}
@@ -389,20 +412,49 @@ func (e *Engine) warmupPhase() {
 		ev.w = workload.New(ev.cfg.Workload, ev.vm, e.workloadSeed(i))
 		ev.migBase = ev.vm.Guest.Stats.MigratedPages + ev.vm.EPT.Stats.MigratedPages
 	}
-	for i := 0; i < e.cfg.WarmupRequests; i++ {
-		for _, ev := range e.vms {
-			ev.w.StepOne()
+	p := newPacer(e.cfg.WarmupRequests, e.cfg.RequestsPerTick)
+	for {
+		b, tick := p.next()
+		if b == 0 {
+			break
 		}
-		if i%e.cfg.RequestsPerTick == 0 {
+		if len(e.vms) == 1 {
+			// One VM: the whole inter-tick batch runs through the
+			// vectorized core in one call.
+			e.vms[0].w.StepN(b, nil)
+		} else {
+			// N VMs interleave one request per VM per iteration; that
+			// cross-VM order allocates host frames identically to the
+			// historic loop, so it is preserved request by request.
+			for j := 0; j < b; j++ {
+				for _, ev := range e.vms {
+					ev.w.StepOne()
+				}
+			}
+		}
+		if tick {
 			e.rec.tick(e.m)
 		}
 	}
 }
 
-// settle advances the daemons with no foreground load.
+// settle advances the daemons with no foreground load. With no
+// requests arriving this is the phase where machines go quiescent —
+// promotion periods between scans, drained fragmenters, decayed heat
+// — so it fast-forwards: whenever every deadline source proves the
+// next k ticks are no-ops, the tick clock jumps over them in closed
+// form (recovery.idleTicks / skip). Boundary ticks (release, sample,
+// audit, policy scans) still run densely, so tick numbers, samples,
+// and all simulated state are bit-identical to the dense loop.
 func (e *Engine) settle(ticks int) {
-	for i := 0; i < ticks; i++ {
+	for i := 0; i < ticks; {
+		if k := e.rec.idleTicks(e.m, ticks-i); k > 0 {
+			e.rec.skip(e.m, k)
+			i += k
+			continue
+		}
 		e.rec.tick(e.m)
+		i++
 	}
 }
 
@@ -416,23 +468,62 @@ func (e *Engine) measurePhase() {
 		ev.lat = metrics.NewHistogram()
 		ev.bg0 = ev.vm.Guest.Stats.BackgroundCycles + ev.vm.EPT.Stats.BackgroundCycles
 	}
-	for i := 0; i < e.cfg.Requests; i++ {
-		for _, ev := range e.vms {
-			// One request per VM per iteration, via the allocation-free
-			// StepOne (Step(1) would build a StepStats with a Latencies
-			// slice for every request).
-			c := ev.w.StepOne()
-			ev.fg += c
-			ev.ops++
-			ev.acc += uint64(ev.cfg.Workload.RequestPages)
-			if ev.cfg.Workload.LatencySensitive {
-				ev.lat.Record(float64(c))
+	single := len(e.vms) == 1
+	var latBuf []uint64
+	if single && e.vms[0].cfg.Workload.LatencySensitive {
+		// Batches never exceed the tick stride; one reusable buffer
+		// carries per-request costs out of StepN for the histogram.
+		latBuf = make([]uint64, e.cfg.RequestsPerTick)
+	}
+	p := newPacer(e.cfg.Requests, e.cfg.RequestsPerTick)
+	for {
+		b, tick := p.next()
+		if b == 0 {
+			break
+		}
+		if single {
+			ev := e.vms[0]
+			if latBuf != nil {
+				ev.fg += ev.w.StepN(b, latBuf[:b])
+				for _, c := range latBuf[:b] {
+					ev.lat.Record(float64(c))
+				}
+			} else {
+				ev.fg += ev.w.StepN(b, nil)
+			}
+			ev.ops += uint64(b)
+			ev.acc += uint64(b) * uint64(ev.cfg.Workload.RequestPages)
+		} else {
+			for j := 0; j < b; j++ {
+				for _, ev := range e.vms {
+					// One request per VM per iteration, via the
+					// allocation-free StepOne (Step(1) would build a
+					// StepStats with a Latencies slice per request).
+					c := ev.w.StepOne()
+					ev.fg += c
+					ev.ops++
+					ev.acc += uint64(ev.cfg.Workload.RequestPages)
+					if ev.cfg.Workload.LatencySensitive {
+						ev.lat.Record(float64(c))
+					}
+				}
 			}
 		}
-		if i%e.cfg.RequestsPerTick == 0 {
+		if tick {
 			e.rec.tick(e.m)
 		}
 	}
+}
+
+// safeDiv returns a/b, or 0 when b is 0. The per-request rates divide
+// by measured cycle and access counts, which are zero if measurement
+// never ran (a forced zero-request run); a 0/0 NaN here would leak
+// into paperbench/v1 JSON, which forbids non-finite values.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // bucketReporter is the narrow introspection surface result extraction
@@ -455,9 +546,9 @@ func (e *Engine) results() []Result {
 		res := Result{
 			System:              ev.cfg.System.String(),
 			Workload:            ev.cfg.Workload.Name,
-			Throughput:          float64(ev.ops) / float64(ev.fg) * 1e6,
-			TLBMissesPerKAccess: float64(ts.Misses) / float64(ev.acc) * 1000,
-			WalkCyclesPerAccess: float64(ts.WalkCycles) / float64(ev.acc),
+			Throughput:          safeDiv(float64(ev.ops), float64(ev.fg)) * 1e6,
+			TLBMissesPerKAccess: safeDiv(float64(ts.Misses), float64(ev.acc)) * 1000,
+			WalkCyclesPerAccess: safeDiv(float64(ts.WalkCycles), float64(ev.acc)),
 			AlignedRate:         a.Rate(),
 			GuestHuge:           a.GuestHuge,
 			HostHuge:            a.HostHuge,

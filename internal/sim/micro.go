@@ -71,16 +71,16 @@ func RunMicro(mc MicroConfig) MicroResult {
 
 	spec := workload.Micro(mc.DatasetMB)
 	w := workload.New(spec, vm, mc.Seed+1)
-	// Warm the TLB on the steady-state mappings.
-	for i := 0; i < mc.Accesses/4/spec.RequestPages; i++ {
-		w.StepOne()
-	}
+	// Warm the TLB on the steady-state mappings. Both loops run
+	// through the vectorized StepN core — this path is tickless, so
+	// all of MicroSweep's speed comes from request batching.
+	w.StepN(mc.Accesses/4/spec.RequestPages, nil)
 	vm.TLB.ResetStats()
-	var cycles, accesses uint64
-	for accesses < uint64(mc.Accesses) {
-		cycles += w.StepOne()
-		accesses += uint64(spec.RequestPages)
-	}
+	// ceil(Accesses / RequestPages) requests, exactly as the historic
+	// `for accesses < Accesses` loop issued.
+	reqs := (mc.Accesses + spec.RequestPages - 1) / spec.RequestPages
+	cycles := w.StepN(reqs, nil)
+	accesses := uint64(reqs) * uint64(spec.RequestPages)
 	ts := vm.TLB.Stats()
 	m.ReleaseCaches()
 	return MicroResult{

@@ -1,0 +1,43 @@
+package sim
+
+// pacer is the single source of the daemon tick schedule inside a
+// request-driven phase. The historic loops wrote `if i%per == 0 {
+// tick }` after request i, which ticks after request 0 and then after
+// every per-th request — one more tick per phase than "every per
+// requests" suggests, immediately after settle has already ticked.
+// That schedule is locked into every golden, so it is preserved
+// exactly; centralizing it here (predecessor, warmup, and measure all
+// draw batches from one pacer) means the three copies can't drift and
+// the batched StepN path sees precisely the request counts that fall
+// between consecutive ticks.
+type pacer struct {
+	n, per, done int
+}
+
+// newPacer paces n requests with one daemon tick after request i
+// whenever i%per == 0. per must be positive (the engine defaults it
+// to 64).
+func newPacer(n, per int) pacer {
+	return pacer{n: n, per: per}
+}
+
+// next returns the size of the next request batch and whether one
+// daemon tick follows it. A zero batch means the phase is done.
+// Batches are [0], [1..per], [per+1..2*per], ... with a trailing
+// partial batch that only ticks if it ends on a multiple of per —
+// exactly the historic per-request schedule.
+func (p *pacer) next() (batch int, tick bool) {
+	if p.done >= p.n {
+		return 0, false
+	}
+	batch = 1
+	if p.done > 0 {
+		batch = p.per
+		if p.done+batch > p.n {
+			batch = p.n - p.done
+		}
+	}
+	last := p.done + batch - 1
+	p.done += batch
+	return batch, last%p.per == 0
+}

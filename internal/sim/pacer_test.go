@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// TestPacerMatchesHistoricSchedule locks the pacer to the schedule the
+// historic request loops used: `for i := 0; i < n; i++ { request(i);
+// if i%per == 0 { tick() } }`. For a sweep of (n, per) shapes, the
+// pacer's batch/tick stream must replay exactly that interleaving —
+// same request count, same tick count, ticks after the same requests.
+func TestPacerMatchesHistoricSchedule(t *testing.T) {
+	shapes := []struct{ n, per int }{
+		{0, 64}, {1, 64}, {2, 1}, {5, 2}, {63, 64}, {64, 64}, {65, 64},
+		{128, 64}, {129, 64}, {1000, 7}, {6000, 64}, {4000, 3},
+	}
+	for _, s := range shapes {
+		// Reference: the historic loop, recording after which requests
+		// a tick fires.
+		var refTicks []int
+		for i := 0; i < s.n; i++ {
+			if i%s.per == 0 {
+				refTicks = append(refTicks, i)
+			}
+		}
+		// Pacer: drain batches, recording the request index each
+		// tick lands after.
+		var gotTicks []int
+		p := newPacer(s.n, s.per)
+		done := 0
+		for {
+			batch, tick := p.next()
+			if batch == 0 {
+				if tick {
+					t.Fatalf("n=%d per=%d: exhausted pacer reported a tick", s.n, s.per)
+				}
+				break
+			}
+			done += batch
+			if tick {
+				gotTicks = append(gotTicks, done-1)
+			}
+		}
+		if done != s.n {
+			t.Fatalf("n=%d per=%d: pacer delivered %d requests", s.n, s.per, done)
+		}
+		if len(gotTicks) != len(refTicks) {
+			t.Fatalf("n=%d per=%d: %d ticks, want %d (%v vs %v)",
+				s.n, s.per, len(gotTicks), len(refTicks), gotTicks, refTicks)
+		}
+		for i := range refTicks {
+			if gotTicks[i] != refTicks[i] {
+				t.Fatalf("n=%d per=%d: tick %d after request %d, want after %d",
+					s.n, s.per, i, gotTicks[i], refTicks[i])
+			}
+		}
+	}
+}

@@ -124,6 +124,13 @@ type Config struct {
 	AuditEvery int
 	// Seed drives all randomness.
 	Seed int64
+	// DisableFastForward forces dense daemon ticking in the settle
+	// windows instead of event-driven fast-forward. Results are
+	// bit-identical either way (fast-forward only jumps over ticks
+	// every layer proves are no-ops); the switch exists as an escape
+	// hatch and for the dense-vs-fast-forward cross-check tests. See
+	// DESIGN.md §7.4.
+	DisableFastForward bool
 	// Trace, when non-nil, records this run's flight-recorder data:
 	// structured events from every layer and periodic gauge samples.
 	// The run fills Result.Timeline and Result.Events from it. Leave
@@ -277,17 +284,18 @@ func (c Config) engineConfig() EngineConfig {
 			GuestMemMB: c.GuestMemMB,
 			ReusedVM:   c.ReusedVM,
 		}},
-		HostMemMB:         c.HostMemMB,
-		Fragmented:        c.Fragmented,
-		FragTarget:        c.FragTarget,
-		Requests:          c.Requests,
-		RequestsPerTick:   c.RequestsPerTick,
-		WarmupRequests:    c.WarmupRequests,
-		RecoverEveryTicks: c.RecoverEveryTicks,
-		Audit:             c.Audit,
-		AuditEvery:        c.AuditEvery,
-		Seed:              c.Seed,
-		Trace:             c.Trace,
+		HostMemMB:          c.HostMemMB,
+		Fragmented:         c.Fragmented,
+		FragTarget:         c.FragTarget,
+		Requests:           c.Requests,
+		RequestsPerTick:    c.RequestsPerTick,
+		WarmupRequests:     c.WarmupRequests,
+		RecoverEveryTicks:  c.RecoverEveryTicks,
+		Audit:              c.Audit,
+		AuditEvery:         c.AuditEvery,
+		Seed:               c.Seed,
+		DisableFastForward: c.DisableFastForward,
+		Trace:              c.Trace,
 	}
 }
 
@@ -318,6 +326,13 @@ type recovery struct {
 	// sampler, when set, captures flight-recorder gauge samples after
 	// the machine tick (EngineConfig.Trace). Nil for untraced runs.
 	sampler func()
+	// samplerNext reports the sampler's next possible capture tick
+	// (trace.Recorder.NextSampleTick) so fast-forward never jumps over
+	// a tick the sampler would have recorded. Nil for untraced runs.
+	samplerNext func(after uint64) uint64
+	// disableFF pins the run to dense ticking
+	// (EngineConfig.DisableFastForward).
+	disableFF bool
 }
 
 func (r *recovery) tick(m *machine.Machine) {
@@ -334,6 +349,72 @@ func (r *recovery) tick(m *machine.Machine) {
 	if r.auditEvery > 0 && r.ticks%r.auditEvery == 0 {
 		r.audit()
 	}
+}
+
+// pendingRelease reports whether any fragmenter still holds regions,
+// i.e. whether a future release boundary will actually free memory.
+// Drained fragmenters stop constraining fast-forward.
+func (r *recovery) pendingRelease() bool {
+	for _, f := range r.fragmenters {
+		if f.HeldRegions() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// idleTicks reports how many upcoming ticks can be replayed in closed
+// form instead of densely, capped at limit — the engine-level deadline
+// query behind event-driven fast-forward (DESIGN.md §7.4). Zero means
+// the next tick must run densely. The horizon is the minimum over
+// every deadline source:
+//
+//   - the machine: compaction/reclaim pressure and each policy's
+//     promotion-period deadline (machine.Machine.IdleHorizon);
+//   - fragmentation recovery: a release boundary with regions still
+//     held frees memory, so it (and nothing before it) may be skipped;
+//   - the trace sampler: a tick the sampler could capture must run
+//     densely (a skipped SampleTick that would return false is
+//     unobservable, one that would return true is not);
+//   - the periodic audit: boundaries run densely so audited runs keep
+//     their exact audit schedule.
+//
+// Every source is conservative: underestimating the horizon costs one
+// dense tick that then does nothing, which is byte-identical.
+func (r *recovery) idleTicks(m *machine.Machine, limit int) int {
+	if r.disableFF || limit <= 0 {
+		return 0
+	}
+	k := m.IdleHorizon(limit)
+	if k <= 0 {
+		return 0
+	}
+	if r.every > 0 && r.pendingRelease() {
+		if gap := r.every - r.ticks%r.every - 1; k > gap {
+			k = gap
+		}
+	}
+	if r.samplerNext != nil {
+		next := r.samplerNext(m.Ticks)
+		if gap := int(next - m.Ticks - 1); k > gap {
+			k = gap
+		}
+	}
+	if r.auditEvery > 0 && len(r.auditors) > 0 {
+		if gap := r.auditEvery - r.ticks%r.auditEvery - 1; k > gap {
+			k = gap
+		}
+	}
+	return k
+}
+
+// skip advances the tick clock over k ticks idleTicks just proved
+// idle: machine state moves in closed form (machine.AdvanceTicks) and
+// the recovery tick counter stays in lockstep with m.Ticks, so release
+// and audit boundaries land on the same tick numbers as dense ticking.
+func (r *recovery) skip(m *machine.Machine, k int) {
+	m.AdvanceTicks(k)
+	r.ticks += k
 }
 
 // audit runs the configured invariant auditors, panicking with the
@@ -372,6 +453,9 @@ type ColocatedConfig struct {
 	Audit      bool
 	AuditEvery int
 	Seed       int64
+	// DisableFastForward forces dense settle ticking, as in
+	// Config.DisableFastForward.
+	DisableFastForward bool
 	// Trace, when non-nil, records the run's flight-recorder data, as
 	// in Config.Trace.
 	Trace *trace.Recorder
@@ -387,6 +471,7 @@ func (cc ColocatedConfig) base() Config {
 		Requests: cc.Requests, RequestsPerTick: cc.RequestsPerTick,
 		RecoverEveryTicks: cc.RecoverEveryTicks,
 		Audit:             cc.Audit, AuditEvery: cc.AuditEvery, Seed: cc.Seed,
+		DisableFastForward: cc.DisableFastForward,
 	}
 	// Deliberate consolidation-setting defaults (DESIGN.md §2).
 	if c.GuestMemMB == 0 {
@@ -447,14 +532,15 @@ func (cc ColocatedConfig) engineConfig() EngineConfig {
 		HostFrag: &FragSpec{
 			Seed: cc.Seed + 11, Target: base.FragTarget, Density: colocatedFragDensity,
 		},
-		Requests:          base.Requests,
-		RequestsPerTick:   base.RequestsPerTick,
-		WarmupRequests:    base.WarmupRequests,
-		RecoverEveryTicks: base.RecoverEveryTicks,
-		Audit:             cc.Audit,
-		AuditEvery:        base.AuditEvery,
-		Seed:              cc.Seed,
-		Trace:             cc.Trace,
+		Requests:           base.Requests,
+		RequestsPerTick:    base.RequestsPerTick,
+		WarmupRequests:     base.WarmupRequests,
+		RecoverEveryTicks:  base.RecoverEveryTicks,
+		Audit:              cc.Audit,
+		AuditEvery:         base.AuditEvery,
+		Seed:               cc.Seed,
+		DisableFastForward: cc.DisableFastForward,
+		Trace:              cc.Trace,
 	}
 }
 

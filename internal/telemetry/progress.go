@@ -98,11 +98,17 @@ func (p *Progress) Tick(done, total uint64, extra string) {
 func (p *Progress) Ticks() uint64 { return p.ticks.Load() }
 
 // eta renders " eta 42s" from the mean completion rate so far; empty
-// when nothing has completed or everything has.
+// when nothing has completed or everything has. done beyond total
+// (an overshooting reporter) counts as finished, and the remaining
+// time is clamped to be non-negative, so the line never shows a
+// negative ETA.
 func (p *Progress) eta(done, total float64) string {
 	if done <= 0 || done >= total {
 		return ""
 	}
 	left := time.Duration(time.Since(p.start).Seconds() / done * (total - done) * float64(time.Second))
+	if left < 0 {
+		left = 0
+	}
 	return fmt.Sprintf(" eta %s", left.Round(time.Second))
 }

@@ -99,6 +99,42 @@ func TestProgressTickLine(t *testing.T) {
 	}
 }
 
+// TestProgressEtaNeverNegative: an overshooting reporter (done past
+// total) or a clock hiccup must never render a negative ETA — the
+// remainder is clamped and done >= total suppresses the suffix
+// entirely.
+func TestProgressEtaNeverNegative(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "clamp")
+	for _, c := range []struct{ done, total float64 }{
+		{11, 10}, // overshoot: more work done than registered
+		{10, 10}, // exactly finished
+		{0, 10},  // nothing finished yet
+	} {
+		if got := p.eta(c.done, c.total); got != "" {
+			t.Errorf("eta(%v, %v) = %q, want empty", c.done, c.total, got)
+		}
+	}
+	// A start time in the future makes the elapsed-time estimate
+	// negative; the clamp must floor the remainder at zero.
+	p.start = time.Now().Add(time.Hour)
+	got := p.eta(5, 10)
+	if strings.Contains(got, "-") {
+		t.Errorf("eta with future start = %q, want non-negative", got)
+	}
+	if got != " eta 0s" {
+		t.Errorf("eta with future start = %q, want %q", got, " eta 0s")
+	}
+	// Tick must tolerate done > total without panicking or printing a
+	// negative ETA.
+	buf.Reset()
+	p2 := NewProgress(&buf, "over")
+	p2.Tick(12, 10, "")
+	if out := buf.String(); strings.Contains(out, "-") {
+		t.Errorf("overshot tick line contains a negative figure: %q", out)
+	}
+}
+
 // promLine matches the only two line shapes the exposition format
 // allows out of WritePrometheus: a TYPE comment or a sample.
 var promLine = regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* gauge|[a-zA-Z_:][a-zA-Z0-9_:]* [-+0-9.eE]+)$`)

@@ -26,6 +26,7 @@ package tlb
 import (
 	"fmt"
 
+	"repro/internal/fastdiv"
 	"repro/internal/mem"
 )
 
@@ -124,6 +125,13 @@ type TLB struct {
 	// by 2 MiB virtual (resp. guest-physical) region index.
 	pwcGuest []uint64
 	pwcHost  []uint64
+
+	// setsDiv and pwcDiv are precomputed reciprocals for the set-index
+	// and walk-cache modulos, used only by the fused batch kernel
+	// (AccessNestedFast). The scalar paths keep the plain arithmetic so
+	// the unbatched baseline stays the historic code.
+	setsDiv fastdiv.Divisor
+	pwcDiv  fastdiv.Divisor
 }
 
 // New creates a TLB with the given configuration.
@@ -145,7 +153,9 @@ func New(cfg Config) *TLB {
 	for i := range ways {
 		ways[i].tag = invalidTag
 	}
-	return &TLB{cfg: cfg, ways: ways, pwcGuest: g, pwcHost: h}
+	return &TLB{cfg: cfg, ways: ways, pwcGuest: g, pwcHost: h,
+		setsDiv: fastdiv.New(uint64(cfg.Sets)),
+		pwcDiv:  fastdiv.New(uint64(pwcSize))}
 }
 
 // set returns the ways of set si as a subslice of the flat array.
@@ -174,6 +184,19 @@ func (t *TLB) tagOf(va uint64, kind mem.PageSizeKind) (tag uint64, set int) {
 		pn = va >> mem.PageShift
 	}
 	return pn<<1 | uint64(kind), int(pn % uint64(t.cfg.Sets))
+}
+
+// SetIndexOf returns the set index an access of va at the given kind
+// probes — tagOf's set half, computed with the precomputed reciprocal
+// (identical to the % in tagOf for every input; the fastdiv package
+// proves and tests exactness). The machine layer's walk cache stores
+// it per translation so the batch kernel needs no per-access modulo.
+func (t *TLB) SetIndexOf(va uint64, kind mem.PageSizeKind) uint32 {
+	pn := va >> mem.PageShift
+	if kind == mem.Huge {
+		pn = va >> mem.HugeShift
+	}
+	return uint32(t.setsDiv.Mod(pn))
 }
 
 // Lookup probes the TLB for a translation of va at the given kind.
@@ -369,6 +392,227 @@ func (t *TLB) probeInsert(va uint64, kind mem.PageSizeKind) bool {
 		t.stats.Insert4K++
 	}
 	return false
+}
+
+// PackKinds packs the effective, guest, and host mapping kinds of one
+// pre-resolved translation into the single staging byte
+// AccessNestedBatch consumes (eff | gk<<2 | hk<<4). Callers staging
+// batches precompute it once per walk-cache fill.
+func PackKinds(eff, gk, hk mem.PageSizeKind) uint8 {
+	return uint8(eff) | uint8(gk)<<2 | uint8(hk)<<4
+}
+
+// AccessNestedBatch performs one nested-mode access per element of
+// the parallel slices (va, gpa, the SetIndexOf-precomputed set index,
+// and the PackKinds-packed mapping kinds, all pre-resolved by the
+// machine layer's walk cache) and
+// returns the summed cycle cost. It is observably identical to
+// calling AccessNested element by element — same entries, same LRU
+// order, same clock advance, same stats — which
+// TestAccessNestedBatchMatchesReference pins across geometries,
+// including non-power-of-two set counts and walk-cache sizes.
+//
+// The batch form is why the vectorized access path is fast: across a
+// whole batch the kernel touches only the TLB arrays (24 KiB of ways
+// plus two small walk caches), so they stay cache-resident instead of
+// being evicted between accesses by the simulator's larger
+// structures; the clock and the victim scan's running minimum live in
+// registers; and the set-index and walk-cache modulos use precomputed
+// reciprocal multiplies (fastdiv) instead of hardware division. The
+// scalar path keeps AccessNested so benchmarks of the unbatched
+// baseline measure the historic code.
+func (t *TLB) AccessNestedBatch(vas, gpas []uint64, sis []uint32, metas []uint8) uint64 {
+	w := t.cfg.Ways
+	hitCycles := t.cfg.HitCycles
+	memRef := t.cfg.MemRefCycles
+	clock := t.clock
+	var total uint64
+	// Re-slice the parallel arrays to the batch length so the compiler
+	// can prove every in-loop index is in bounds, and accumulate the
+	// stats counters in locals flushed once after the loop — per-access
+	// read-modify-writes to the shared Stats struct would otherwise be
+	// the widest instruction stream in the miss path.
+	gpas = gpas[:len(vas)]
+	sis = sis[:len(vas)]
+	metas = metas[:len(vas)]
+	var hits, misses, evictions uint64
+	var ins4K, ins2M, miss4K, miss2M uint64
+	var pwcHits, pwcMisses, walkRefs, walkCycles uint64
+	for i, va := range vas {
+		meta := metas[i]
+		effKind := mem.PageSizeKind(meta & 3)
+		var pn uint64
+		if effKind == mem.Huge {
+			pn = va >> mem.HugeShift
+		} else {
+			pn = va >> mem.PageShift
+		}
+		tag := pn<<1 | uint64(effKind)
+		si := int(sis[i])
+		set := t.ways[si*w : si*w+w]
+		clock++
+		// Probe first, choose a victim only on a miss. probeInsert
+		// interleaves the two, but its victim comparisons are
+		// data-dependent branches that mispredict on nearly every way;
+		// splitting them leaves one data-dependent branch per access
+		// (hit or miss) and lets the miss path run a branchless
+		// minimum. The default 8-way geometry unrolls to straight-line
+		// compares (conditional moves, no per-way branches); duplicate
+		// tags cannot coexist in a set, so accumulation order is
+		// irrelevant.
+		hitJ := -1
+		if len(set) == 8 {
+			// At most one way can hold the tag, so each compare sets an
+			// independent candidate (way index + 1) and an OR tree
+			// combines them: eight parallel conditional moves plus a
+			// depth-3 reduction, instead of an eight-deep serial chain
+			// through a single accumulator.
+			s8 := (*[8]entry)(set)
+			var c0, c1, c2, c3, c4, c5, c6, c7 int
+			if s8[0].tag == tag {
+				c0 = 1
+			}
+			if s8[1].tag == tag {
+				c1 = 2
+			}
+			if s8[2].tag == tag {
+				c2 = 3
+			}
+			if s8[3].tag == tag {
+				c3 = 4
+			}
+			if s8[4].tag == tag {
+				c4 = 5
+			}
+			if s8[5].tag == tag {
+				c5 = 6
+			}
+			if s8[6].tag == tag {
+				c6 = 7
+			}
+			if s8[7].tag == tag {
+				c7 = 8
+			}
+			hitJ = ((c0 | c1) | (c2 | c3)) | ((c4 | c5) | (c6 | c7)) - 1
+		} else {
+			for j := range set {
+				if set[j].tag == tag {
+					hitJ = j
+					break
+				}
+			}
+		}
+		if hitJ >= 0 {
+			set[hitJ].lru = clock
+			hits++
+			total += hitCycles
+			continue
+		}
+		// As in probeInsert: empty ways (lru 0) beat any live way, and
+		// the first index attaining the strict minimum wins. Packing
+		// the way index into the comparison key preserves exactly that
+		// order (lru ties resolve to the lowest index) while compiling
+		// to conditional moves instead of branches. The pack is exact
+		// while the LRU clock stays below 2^48 accesses.
+		minKey := ^uint64(0)
+		if len(set) == 8 {
+			s8 := (*[8]entry)(set)
+			minKey = s8[0].lru << 16
+			if k := s8[1].lru<<16 | 1; k < minKey {
+				minKey = k
+			}
+			if k := s8[2].lru<<16 | 2; k < minKey {
+				minKey = k
+			}
+			if k := s8[3].lru<<16 | 3; k < minKey {
+				minKey = k
+			}
+			if k := s8[4].lru<<16 | 4; k < minKey {
+				minKey = k
+			}
+			if k := s8[5].lru<<16 | 5; k < minKey {
+				minKey = k
+			}
+			if k := s8[6].lru<<16 | 6; k < minKey {
+				minKey = k
+			}
+			if k := s8[7].lru<<16 | 7; k < minKey {
+				minKey = k
+			}
+		} else {
+			for j := range set {
+				key := set[j].lru<<16 | uint64(j)
+				if key < minKey {
+					minKey = key
+				}
+			}
+		}
+		victim := int(minKey & 0xffff)
+		if set[victim].tag != invalidTag {
+			evictions++
+		}
+		set[victim] = entry{tag: tag, lru: clock}
+		misses++
+		if effKind == mem.Huge {
+			ins2M++
+			miss2M++
+		} else {
+			ins4K++
+			miss4K++
+		}
+		gSteps := 4
+		if mem.PageSizeKind(meta>>2&3) == mem.Huge {
+			gSteps = 3
+		}
+		// Walk-cache probes, branchless: writing the key back on a hit
+		// is a no-op (the slot already holds it), so the store is
+		// unconditional and only the counters and step counts select
+		// on the outcome — conditional moves, not branches, since the
+		// hit/miss pattern is data-dependent.
+		gKey := va >> mem.HugeShift
+		gSlot := t.pwcDiv.Mod(gKey)
+		gHit := t.pwcGuest[gSlot] == gKey
+		t.pwcGuest[gSlot] = gKey
+		if gHit {
+			gSteps = 1
+			pwcHits++
+		} else {
+			pwcMisses++
+		}
+		hSteps := 4
+		if mem.PageSizeKind(meta>>4) == mem.Huge {
+			hSteps = 3
+		}
+		hKey := gpas[i] >> mem.HugeShift
+		hSlot := t.pwcDiv.Mod(hKey)
+		hHit := t.pwcHost[hSlot] == hKey
+		t.pwcHost[hSlot] = hKey
+		if hHit {
+			hSteps = 1
+			pwcHits++
+		} else {
+			pwcMisses++
+		}
+		refs := gSteps*(hSteps+1) + hSteps
+		cycles := hitCycles + uint64(refs)*memRef
+		walkRefs += uint64(refs)
+		walkCycles += cycles
+		total += cycles
+	}
+	t.clock = clock
+	t.stats.Hits += hits
+	t.stats.Misses += misses
+	t.stats.Evictions += evictions
+	t.stats.Insert4K += ins4K
+	t.stats.Insert2M += ins2M
+	t.stats.Misses4K += miss4K
+	t.stats.Misses2M += miss2M
+	t.stats.NestedWalks += misses
+	t.stats.PWCHits += pwcHits
+	t.stats.PWCMisses += pwcMisses
+	t.stats.WalkRefs += walkRefs
+	t.stats.WalkCycles += walkCycles
+	return total
 }
 
 // AccessResult describes the outcome of one translated memory access.

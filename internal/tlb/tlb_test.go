@@ -321,3 +321,67 @@ func BenchmarkAccessNestedMissHeavy(b *testing.B) {
 		tl.AccessNested(va, mem.Base, mem.Base, mem.Base, va)
 	}
 }
+
+// TestAccessNestedBatchMatchesReference pins the batch kernel's
+// contract: AccessNestedBatch over any chunking of an access sequence
+// leaves the TLB observably identical — same stats, same summed
+// cycles, and the same per-access results afterwards — to feeding the
+// same sequence through AccessNested one element at a time. Geometries
+// cover the default 8-way layout (the unrolled branchless kernel), a
+// non-8-way fallback, and non-power-of-two set and walk-cache sizes
+// (the reciprocal-division path).
+func TestAccessNestedBatchMatchesReference(t *testing.T) {
+	geometries := []Config{
+		DefaultConfig(), // 192 sets x 8 ways, 16-entry PWCs
+		{Sets: 7, Ways: 3, MemRefCycles: 50, HitCycles: 1, PWCEntries: 5},
+		{Sets: 64, Ways: 8, MemRefCycles: 10, HitCycles: 2, PWCEntries: 12},
+	}
+	for gi, cfg := range geometries {
+		ref := New(cfg)
+		bat := New(cfg)
+		rng := rand.New(rand.NewSource(int64(gi) + 11))
+		kinds := []mem.PageSizeKind{mem.Base, mem.Huge}
+
+		const rounds = 40
+		for round := 0; round < rounds; round++ {
+			n := 1 + rng.Intn(97)
+			vas := make([]uint64, n)
+			gpas := make([]uint64, n)
+			sis := make([]uint32, n)
+			metas := make([]uint8, n)
+			var refTotal uint64
+			for i := 0; i < n; i++ {
+				// A small page pool forces hits, misses, and evictions.
+				va := uint64(rng.Intn(1<<11)) << mem.PageShift
+				gpa := uint64(rng.Intn(1<<11)) << mem.PageShift
+				eff := kinds[rng.Intn(2)]
+				gk := kinds[rng.Intn(2)]
+				hk := kinds[rng.Intn(2)]
+				vas[i], gpas[i] = va, gpa
+				sis[i] = ref.SetIndexOf(va, eff)
+				metas[i] = PackKinds(eff, gk, hk)
+				refTotal += ref.AccessNested(va, eff, gk, hk, gpa).Cycles
+			}
+			batTotal := bat.AccessNestedBatch(vas, gpas, sis, metas)
+			if refTotal != batTotal {
+				t.Fatalf("geometry %d round %d: cycles %d (batch) != %d (reference)",
+					gi, round, batTotal, refTotal)
+			}
+			if ref.Stats() != bat.Stats() {
+				t.Fatalf("geometry %d round %d: stats diverged\nbatch: %+v\nref:   %+v",
+					gi, round, bat.Stats(), ref.Stats())
+			}
+		}
+		// The internal entry state must match too: every subsequent
+		// access (hit-vs-miss, victim choice) behaves identically.
+		for i := 0; i < 2000; i++ {
+			va := uint64(rng.Intn(1<<11)) << mem.PageShift
+			eff := kinds[i%2]
+			a := ref.AccessNested(va, eff, mem.Base, mem.Huge, va)
+			b := bat.AccessNested(va, eff, mem.Base, mem.Huge, va)
+			if a != b {
+				t.Fatalf("geometry %d: post-batch access %d diverged: %+v vs %+v", gi, i, b, a)
+			}
+		}
+	}
+}

@@ -77,6 +77,25 @@ func (r *Recorder) SampleTick(tick uint64) bool {
 	return true
 }
 
+// NextSampleTick returns the earliest tick strictly after `after` at
+// which SampleTick could return true — the sampler's deadline for
+// event-driven fast-forward. Before the first sample every tick is a
+// candidate (the first call always captures), so it returns after+1;
+// afterwards it is the next stride multiple. The answer is
+// conservative with respect to decimation: decimation only ever grows
+// the stride, so a dense tick at the returned number may still decline
+// to sample — skipping up to (but not past) it is byte-identical
+// either way, because SampleTick calls that would return false leave
+// the recorder's observable state unchanged (decimate is idempotent
+// until new rows are appended, and rows are only appended on sampled
+// ticks).
+func (r *Recorder) NextSampleTick(after uint64) uint64 {
+	if !r.haveSample {
+		return after + 1
+	}
+	return after - after%r.every + r.every
+}
+
 // SampleFinal forces a capture at the run's last tick so the series
 // always ends on the final state. It reports false when that tick was
 // already sampled by the stride.

@@ -220,3 +220,38 @@ func TestReadSeriesCSVMissingColumn(t *testing.T) {
 		t.Fatal("ReadSeriesCSV accepted a CSV missing most columns")
 	}
 }
+
+// TestNextSampleTick locks the sampler's fast-forward deadline: before
+// any sample every tick is a candidate (the first SampleTick always
+// captures), afterwards the deadline is the next stride multiple.
+// Skipping a span that stops at the returned tick must leave the
+// sampled series identical to dense ticking, which the dense-vs-fast-
+// forward engine tests pin end to end; here the arithmetic contract is
+// checked directly.
+func TestNextSampleTick(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 8})
+	if got := r.NextSampleTick(5); got != 6 {
+		t.Fatalf("pre-sample deadline = %d, want 6 (next tick)", got)
+	}
+	if !r.SampleTick(3) {
+		t.Fatal("first SampleTick must capture")
+	}
+	for _, c := range []struct{ after, want uint64 }{
+		{3, 8},   // next multiple of the stride
+		{7, 8},   // just below a multiple
+		{8, 16},  // exactly on a multiple: strictly after
+		{9, 16},  // just above
+		{15, 16}, // dense neighbor of a multiple
+		{16, 24}, // next stride window
+	} {
+		if got := r.NextSampleTick(c.after); got != c.want {
+			t.Errorf("NextSampleTick(%d) = %d, want %d", c.after, got, c.want)
+		}
+	}
+	// The deadline is conservative: a dense SampleTick at the deadline
+	// itself must agree to sample (the skip never jumps past a capture).
+	next := r.NextSampleTick(3)
+	if !r.SampleTick(next) {
+		t.Fatalf("SampleTick(%d) declined at the advertised deadline", next)
+	}
+}

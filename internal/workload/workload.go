@@ -23,11 +23,32 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"repro/internal/fastdiv"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
+
+// vectorize selects the batched draw/access core (StepN chunking, the
+// replicated-RNG fast draws, machine.VM.AccessN) over the scalar
+// reference path. Both paths consume the math/rand stream identically
+// and perform the same simulated accesses in the same order, so every
+// result is bit-identical either way; only wall time differs. The
+// toggle exists so hotbench can measure the scalar baseline honestly
+// (MicroSweepScalar) and so TestStepNMatchesScalar can cross-check the
+// replicated draws against math/rand itself. Not safe to flip while
+// workloads are running.
+var vectorize = true
+
+// SetVectorized toggles the batched core and returns the previous
+// setting. Benchmarks and equivalence tests only.
+func SetVectorized(on bool) bool {
+	prev := vectorize
+	vectorize = on
+	return prev
+}
 
 // Pattern is an access distribution.
 type Pattern int
@@ -280,6 +301,22 @@ type Workload struct {
 	// (the hottest workload-side operation) at the cost of one rebuild
 	// per VMA churn event, which is orders of magnitude rarer.
 	addrs []uint64
+
+	// Cached draw-confinement state for the batched core: lim is the
+	// last limit the draws were confined to, limDiv its reciprocal,
+	// uniMax the Int63n rejection threshold for it. Recomputed only
+	// when the touched frontier moves (never for Static specs after
+	// population), so the two hardware divisions math/rand pays per
+	// uniform draw collapse to multiplies.
+	lim     uint64
+	limPow2 bool
+	limDiv  fastdiv.Divisor
+	uniMax  int64
+	// pageBuf/addrBuf are the reusable draw and translation buffers
+	// for StepN chunks; sized at New so the steady state stays
+	// allocation-free (TestAccessSteadyStateZeroAllocs).
+	pageBuf []uint64
+	addrBuf []uint64
 }
 
 // New binds a spec to a VM and performs setup: VMAs are created and,
@@ -305,6 +342,12 @@ func New(spec Spec, vm *machine.VM, seed int64) *Workload {
 		w.vmas = append(w.vmas, vm.Guest.Space.MMap(w.vmaPages*mem.PageSize, off))
 	}
 	w.rebuildAddrs()
+	bufCap := 2048
+	if w.RequestPages > bufCap {
+		bufCap = w.RequestPages
+	}
+	w.pageBuf = make([]uint64, bufCap)
+	w.addrBuf = make([]uint64, bufCap)
 	w.zipf = rand.NewZipf(w.rng, 1.1, 64, w.totalPages-1)
 	if w.Style == Static {
 		w.populate()
@@ -318,10 +361,19 @@ func New(spec Spec, vm *machine.VM, seed int64) *Workload {
 // populate touches every page once (sequential first-touch).
 func (w *Workload) populate() { w.growTo(w.totalPages) }
 
-// growTo extends the touched frontier to n pages.
+// growTo extends the touched frontier to n pages. First-touch order is
+// ascending page index either way; the batched path hands the
+// contiguous addrs window to AccessN in one call.
 func (w *Workload) growTo(n uint64) {
 	if n > w.totalPages {
 		n = w.totalPages
+	}
+	if vectorize {
+		if w.touched < n {
+			w.vm.AccessN(w.addrs[w.touched:n])
+			w.touched = n
+		}
+		return
 	}
 	for ; w.touched < n; w.touched++ {
 		w.vm.Access(w.addrOf(w.touched))
@@ -370,6 +422,80 @@ func (w *Workload) nextPage() uint64 {
 	}
 }
 
+// recacheLimit rebuilds the confinement state for a new draw limit:
+// the reciprocal for the `% limit` folds and the rejection threshold
+// math/rand.Int63n would use for the same limit (max = 2^63-1 -
+// 2^63 mod limit), so drawInto consumes the exact same Int63 stream.
+func (w *Workload) recacheLimit(limit uint64) {
+	w.lim = limit
+	w.limPow2 = limit&(limit-1) == 0
+	w.limDiv = fastdiv.New(limit)
+	w.uniMax = int64(uint64(math.MaxInt64) - (uint64(1)<<63)%limit)
+}
+
+// drawInto fills dst with page indexes from the access distribution,
+// confined to the touched frontier — the batched twin of nextPage. The
+// per-draw pattern switch and limit recheck are hoisted out of the
+// loop, and the `% limit` folds go through the cached reciprocal.
+// math/rand replication notes, per pattern:
+//
+//   - Uniform: Int63n(n) masks for power-of-two n and otherwise
+//     rejection-samples Int63 above uniMax before one `% n`;
+//   - Zipf: zipf.Uint64() draws only from w.rng, then `% limit`;
+//   - Sequential: cursor increment then `% limit` (no RNG);
+//   - Mixed: Intn(2) is Int31n(2) is Int31()&1 is (Int63()>>32)&1.
+func (w *Workload) drawInto(dst []uint64) {
+	limit := w.touched
+	if limit == 0 {
+		limit = 1
+	}
+	if limit != w.lim {
+		w.recacheLimit(limit)
+	}
+	switch w.Access {
+	case Uniform:
+		if w.limPow2 {
+			mask := w.lim - 1
+			for i := range dst {
+				dst[i] = uint64(w.rng.Int63()) & mask
+			}
+			return
+		}
+		for i := range dst {
+			v := w.rng.Int63()
+			for v > w.uniMax {
+				v = w.rng.Int63()
+			}
+			dst[i] = w.limDiv.Mod(uint64(v))
+		}
+	case Zipf:
+		for i := range dst {
+			dst[i] = w.limDiv.Mod(w.zipf.Uint64())
+		}
+	case Sequential:
+		for i := range dst {
+			w.seqCursor++
+			dst[i] = w.limDiv.Mod(w.seqCursor)
+		}
+	default: // Mixed
+		for i := range dst {
+			if (w.rng.Int63()>>32)&1 == 0 {
+				dst[i] = w.limDiv.Mod(w.zipf.Uint64())
+			} else {
+				if w.limPow2 {
+					dst[i] = uint64(w.rng.Int63()) & (w.lim - 1)
+					continue
+				}
+				v := w.rng.Int63()
+				for v > w.uniMax {
+					v = w.rng.Int63()
+				}
+				dst[i] = w.limDiv.Mod(uint64(v))
+			}
+		}
+	}
+}
+
 // churn unmaps one VMA and remaps it elsewhere, modelling allocator
 // churn in dynamic workloads. Touched state within the VMA resets.
 func (w *Workload) churn() {
@@ -392,21 +518,99 @@ func (w *Workload) churn() {
 // drives (Step's StepStats forces a Latencies slice per call); the RNG
 // consumption is identical to one iteration of Step.
 func (w *Workload) StepOne() uint64 {
+	if vectorize {
+		return w.stepBatched()
+	}
 	reqCycles := w.ServiceCycles
 	for a := 0; a < w.RequestPages; a++ {
 		page := w.nextPage()
 		reqCycles += w.vm.Access(w.addrs[page])
 	}
-	if w.Style == Gradual {
-		// Grow ~one page per request until the footprint is full.
-		if w.touched < w.totalPages {
-			w.growTo(w.touched + 2)
-		}
-		if w.ChurnRate > 0 && w.rng.Float64() < w.ChurnRate/100 {
-			w.churn()
-		}
-	}
+	w.stepTail()
 	return reqCycles
+}
+
+// stepTail is the post-request bookkeeping shared by the scalar and
+// batched request paths: gradual footprint growth and VMA churn.
+func (w *Workload) stepTail() {
+	if w.Style != Gradual {
+		return
+	}
+	// Grow ~one page per request until the footprint is full.
+	if w.touched < w.totalPages {
+		w.growTo(w.touched + 2)
+	}
+	if w.ChurnRate > 0 && w.rng.Float64() < w.ChurnRate/100 {
+		w.churn()
+	}
+}
+
+// stepBatched is one request through the batched core: all page draws
+// for the request up front (the RNG stream is untouched by accesses,
+// so draw-then-access order matches nextPage-interleaved order), then
+// one AccessN over the translated addresses.
+func (w *Workload) stepBatched() uint64 {
+	reqCycles := w.ServiceCycles
+	if k := w.RequestPages; k > 0 {
+		w.drawInto(w.pageBuf[:k])
+		for i, p := range w.pageBuf[:k] {
+			w.addrBuf[i] = w.addrs[p]
+		}
+		reqCycles += w.vm.AccessN(w.addrBuf[:k])
+	}
+	w.stepTail()
+	return reqCycles
+}
+
+// StepN runs n requests and returns their total cycle cost — the
+// vectorized bulk entry point the engine, fleet, and Figure 2 micro
+// loops drive between tick boundaries. If perReq is non-nil it must
+// have length >= n and receives each request's individual cost
+// (latency-sensitive measurement); otherwise Static specs drain in
+// multi-request chunks sized to the draw buffers, which keeps the TLB
+// probe + walk-cache loop hot and amortizes the per-request call
+// overhead. The RNG stream, access order, and simulated cycle charges
+// are identical to n sequential StepOne calls (TestStepNMatchesStepOne).
+func (w *Workload) StepN(n int, perReq []uint64) uint64 {
+	var total uint64
+	if !vectorize {
+		for i := 0; i < n; i++ {
+			c := w.StepOne()
+			if perReq != nil {
+				perReq[i] = c
+			}
+			total += c
+		}
+		return total
+	}
+	if w.Style == Gradual || perReq != nil || w.RequestPages <= 0 {
+		// Per-request bookkeeping (growth/churn or latency capture)
+		// needs request granularity; each request still batches its
+		// accesses through AccessN.
+		for i := 0; i < n; i++ {
+			c := w.stepBatched()
+			if perReq != nil {
+				perReq[i] = c
+			}
+			total += c
+		}
+		return total
+	}
+	perChunk := len(w.pageBuf) / w.RequestPages
+	for n > 0 {
+		reqs := n
+		if reqs > perChunk {
+			reqs = perChunk
+		}
+		k := reqs * w.RequestPages
+		w.drawInto(w.pageBuf[:k])
+		for i, p := range w.pageBuf[:k] {
+			w.addrBuf[i] = w.addrs[p]
+		}
+		total += w.vm.AccessN(w.addrBuf[:k]) + uint64(reqs)*w.ServiceCycles
+		n -= reqs
+	}
+	return total
 }
 
 // Step runs the given number of requests and reports their cost.

@@ -233,3 +233,67 @@ func TestTinyFootprintManyVMAs(t *testing.T) {
 	w := New(spec, vm, 9)
 	w.Step(5) // must not panic
 }
+
+// TestStepNMatchesStepOne is the vectorization equivalence property
+// promised in the StepN contract: for every Table 2 workload spec plus
+// the Figure 2 micro spec — covering Static and Gradual styles and
+// every access pattern — n requests through the batched StepN core
+// consume the identical RNG stream and charge the identical cycles as
+// n sequential scalar StepOne calls, leaving the frontier and the
+// VM's TLB in bit-identical state. Both the bulk (nil perReq) and
+// latency-capturing (non-nil perReq) StepN paths are checked.
+func TestStepNMatchesStepOne(t *testing.T) {
+	specs := append(Table2(), Micro(8))
+	defer SetVectorized(SetVectorized(true))
+	for _, spec := range specs {
+		spec := spec
+		if spec.FootprintMB > 64 {
+			spec.FootprintMB = 64 // keep the grid fast; style/pattern is what matters
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			const reqs = 300
+
+			vmScalar := newVM(t, 192)
+			wScalar := New(spec, vmScalar, 42)
+			SetVectorized(false)
+			var scalarTotal uint64
+			scalarPer := make([]uint64, reqs)
+			for i := 0; i < reqs; i++ {
+				scalarPer[i] = wScalar.StepOne()
+				scalarTotal += scalarPer[i]
+			}
+			SetVectorized(true)
+
+			vmBulk := newVM(t, 192)
+			wBulk := New(spec, vmBulk, 42)
+			bulkTotal := wBulk.StepN(reqs, nil)
+
+			vmPer := newVM(t, 192)
+			wPer := New(spec, vmPer, 42)
+			perReq := make([]uint64, reqs)
+			perTotal := wPer.StepN(reqs, perReq)
+
+			if bulkTotal != scalarTotal || perTotal != scalarTotal {
+				t.Fatalf("cycles: bulk %d, perReq %d, scalar %d",
+					bulkTotal, perTotal, scalarTotal)
+			}
+			for i := range perReq {
+				if perReq[i] != scalarPer[i] {
+					t.Fatalf("request %d: perReq %d != scalar %d", i, perReq[i], scalarPer[i])
+				}
+			}
+			if wBulk.Touched() != wScalar.Touched() || wPer.Touched() != wScalar.Touched() {
+				t.Fatalf("frontier: bulk %d, perReq %d, scalar %d",
+					wBulk.Touched(), wPer.Touched(), wScalar.Touched())
+			}
+			if vmBulk.TLB.Stats() != vmScalar.TLB.Stats() {
+				t.Fatalf("TLB stats diverged\nbulk:   %+v\nscalar: %+v",
+					vmBulk.TLB.Stats(), vmScalar.TLB.Stats())
+			}
+			if vmPer.TLB.Stats() != vmScalar.TLB.Stats() {
+				t.Fatalf("perReq TLB stats diverged\nper:    %+v\nscalar: %+v",
+					vmPer.TLB.Stats(), vmScalar.TLB.Stats())
+			}
+		})
+	}
+}
