@@ -8,7 +8,7 @@
 // The package exposes two levels of API:
 //
 //   - experiment runners (Figure2, Motivation, CleanSlate, ReusedVM,
-//     Breakdown, Colocated, ManyVMs) that regenerate each figure and
+//     Breakdown, Colocated, ManyVMs, Pressure) that regenerate each figure and
 //     table of the paper's evaluation on one shared job grid;
 //   - the single-run primitives (Run, RunMicro, RunColocated, RunMany,
 //     Systems, Workloads) for custom studies. All of them execute on

@@ -1,14 +1,16 @@
 // Command fleetsim runs the fleet-scale simulation: a cluster of
 // simulated hosts under a deterministic VM arrival/departure stream,
 // placed online by a 2D vector-bin-packing policy (first-fit, best-fit,
-// or frag-aware), with live migration rebalancing the cluster. See
-// DESIGN.md §8.
+// frag-aware, or pressure-aware), with live migration rebalancing the
+// cluster. See DESIGN.md §8.
 //
 // Usage:
 //
 //	fleetsim [-hosts 16] [-host-cpu 16] [-host-mem 1024]
 //	         [-arrivals 200] [-mean-interarrival 4] [-mean-life 300]
-//	         [-policy first-fit|best-fit|frag-aware] [-system GEMINI]
+//	         [-policy first-fit|best-fit|frag-aware|pressure-aware]
+//	         [-system GEMINI]
+//	         [-overcommit R] [-pressure-policy NAME]
 //	         [-seed 1] [-requests-per-tick 4] [-drain 32]
 //	         [-rebalance-every 32] [-rebalance-gap 0.25]
 //	         [-audit] [-parallel N]
@@ -24,6 +26,14 @@
 // With -trace/-series the per-host flight-recorder shards are merged
 // in host order and written as JSONL events and CSV series; adding
 // -stream writes both files incrementally during the run.
+//
+// With -overcommit R ≥ 1 every host schedules up to R × its physical
+// memory and arms the memory-elasticity tier (DESIGN.md §10): hosts
+// under pressure balloon and swap their resident VMs instead of
+// rejecting placements; -pressure-policy selects the victim-selection
+// policy (empty = the default LRU-by-heat). Pair with
+// -policy pressure-aware to have placement steer new VMs away from
+// hosts already paying swap costs.
 //
 // Live telemetry (stderr/HTTP only; stdout stays byte-identical):
 // -progress prints throttled tick-level progress with the resident
@@ -56,6 +66,8 @@ func main() {
 	meanLife := flag.Float64("mean-life", 300, "mean VM lifetime in ticks")
 	policy := flag.String("policy", "first-fit", fmt.Sprintf("placement policy: %v", repro.FleetPolicies()))
 	system := flag.String("system", "GEMINI", "page management system every VM runs")
+	overcommit := flag.Float64("overcommit", 0, "memory overcommit ratio; ≥ 1 arms the elasticity tier (swap + balloons) and lets hosts schedule ratio × physical memory, 0 disables")
+	pressurePolicy := flag.String("pressure-policy", "", "swap victim-selection policy for -overcommit (empty = lru-heat default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	reqsPerTick := flag.Int("requests-per-tick", 4, "foreground requests per resident VM per tick")
 	drain := flag.Int("drain", 32, "ticks to keep stepping after the last arrival")
@@ -94,8 +106,10 @@ func main() {
 		Hosts:     *hosts,
 		HostCPU:   *hostCPU,
 		HostMemMB: *hostMem,
-		System:    sys,
-		Policy:    *policy,
+		System:         sys,
+		Policy:         *policy,
+		Overcommit:     *overcommit,
+		PressurePolicy: *pressurePolicy,
 		Stream: repro.FleetStreamConfig{
 			Arrivals:         *arrivals,
 			MeanInterarrival: *meanGap,
@@ -186,10 +200,18 @@ func main() {
 
 	// Stamp the output with its generating command so captured reports
 	// record how to regenerate them. -parallel and -audit are omitted:
-	// neither changes a byte of the result.
+	// neither changes a byte of the result. The overcommit knobs are
+	// stamped only when set, so pre-elasticity captures stay identical.
+	elastic := ""
+	if *overcommit != 0 {
+		elastic = fmt.Sprintf(" -overcommit %g", *overcommit)
+		if *pressurePolicy != "" {
+			elastic += fmt.Sprintf(" -pressure-policy %s", *pressurePolicy)
+		}
+	}
 	fmt.Printf("# generated by: go run ./cmd/fleetsim -hosts %d -host-cpu %d -host-mem %d"+
-		" -arrivals %d -mean-interarrival %g -mean-life %g -policy %s -system %s -seed %d\n\n",
-		*hosts, *hostCPU, *hostMem, *arrivals, *meanGap, *meanLife, *policy, *system, *seed)
+		" -arrivals %d -mean-interarrival %g -mean-life %g -policy %s -system %s%s -seed %d\n\n",
+		*hosts, *hostCPU, *hostMem, *arrivals, *meanGap, *meanLife, *policy, *system, elastic, *seed)
 
 	t0 := time.Now()
 	var cell *telemetry.Cell

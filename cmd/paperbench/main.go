@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated|manyvms|fleet]
+//	paperbench [-exp all|fig2|motivation|cleanslate|reused|breakdown|colocated|manyvms|fleet|pressure]
 //	           [-quick] [-seed 1] [-parallel N] [-audit] [-vms N]
 //	           [-json FILE] [-validate-json FILE]
 //	           [-trace FILE] [-series FILE] [-sample-every N] [-stream]
@@ -50,9 +50,13 @@
 // fragmented host through the unified engine and compares per-VM
 // results across all systems. The fleet experiment sweeps the cluster
 // layer: every placement policy crossed with THP and GEMINI over the
-// same churn stream (see DESIGN.md §8 and cmd/fleetsim). Both are
-// excluded from -exp all (they are scaling studies, not paper
-// figures); select them explicitly.
+// same churn stream (see DESIGN.md §8 and cmd/fleetsim). The pressure
+// experiment arms the memory-elasticity tier (DESIGN.md §10) and
+// sweeps overcommit ratios 1.0/1.25/1.5 over a 3-VM consolidation mix,
+// comparing how THP, GEMINI, and FHPM degrade when host pressure
+// forces ballooning and swap. All three are excluded from -exp all
+// (they are extension studies, not paper figures); select them
+// explicitly.
 package main
 
 import (
@@ -68,7 +72,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, motivation, cleanslate, reused, breakdown, colocated, manyvms, fleet")
+	exp := flag.String("exp", "all", "experiment: all, fig2, motivation, cleanslate, reused, breakdown, colocated, manyvms, fleet, pressure")
 	quick := flag.Bool("quick", false, "reduced scale (half footprints, fewer requests)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
@@ -180,9 +184,9 @@ func main() {
 	report := repro.NewBenchReport(o)
 	ran := false
 	run := func(name string, fn func() []repro.BenchCell) {
-		// manyvms and fleet are opt-in: scaling studies, not paper
-		// figures.
-		optIn := name == "manyvms" || name == "fleet"
+		// manyvms, fleet, and pressure are opt-in: extension studies,
+		// not paper figures.
+		optIn := name == "manyvms" || name == "fleet" || name == "pressure"
 		if *exp != name && (*exp != "all" || optIn) {
 			return
 		}
@@ -204,6 +208,7 @@ func main() {
 	run("colocated", func() []repro.BenchCell { return colocated(o) })
 	run("manyvms", func() []repro.BenchCell { return manyVMs(o, *vms) })
 	run("fleet", func() []repro.BenchCell { return fleetSweep(o) })
+	run("pressure", func() []repro.BenchCell { return pressureSweep(o) })
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)
@@ -531,6 +536,24 @@ func fleetSweep(o repro.Options) []repro.BenchCell {
 	for _, r := range rows {
 		cells = append(cells, repro.FleetCells(r)...)
 	}
+	return cells
+}
+
+func pressureSweep(o repro.Options) []repro.BenchCell {
+	fmt.Println("=== Pressure sweep: overcommit ratio × system with the elasticity tier armed (DESIGN.md §10) ===")
+	var cells []repro.BenchCell
+	for _, row := range repro.Pressure(o) {
+		fmt.Printf("--- %s @ %.2fx overcommit ---\n", row.System, row.Overcommit)
+		fmt.Printf("%-4s %-14s %12s %12s %10s %10s %10s %8s\n",
+			"vm", "workload", "thpt/Mcyc", "p99(cyc)", "swapped", "swapins", "balloon", "cov")
+		for i, r := range row.Results {
+			fmt.Printf("%-4d %-14s %12.2f %12.0f %10d %10d %10d %8.2f\n",
+				i, r.Workload, r.Throughput, r.P99Latency,
+				r.SwappedPages, r.SwappedInPages, r.BalloonPages, r.HugeCoverage)
+		}
+		cells = append(cells, repro.PressureCells(row)...)
+	}
+	fmt.Println()
 	return cells
 }
 

@@ -5,15 +5,22 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
 
+// designSection matches a concrete DESIGN.md section anchor ("DESIGN.md
+// §7"). A bare "DESIGN.md" mention is not enough: the doc must name the
+// section, or the pointer goes stale the moment sections are added.
+var designSection = regexp.MustCompile(`DESIGN\.md §[0-9]`)
+
 // TestInternalPackageDocs is the doc lint CI runs: every package under
 // internal/ must carry a package doc comment that is substantial (not
-// a one-line stub) and points the reader at the relevant DESIGN.md
-// section, so godoc and the design document cannot drift apart
-// silently. New packages fail this test until they are documented.
+// a one-line stub) and names the DESIGN.md section it implements
+// ("DESIGN.md §N"), so godoc and the design document cannot drift
+// apart silently. New packages fail this test until they are
+// documented and anchored.
 func TestInternalPackageDocs(t *testing.T) {
 	dirs, err := filepath.Glob("internal/*")
 	if err != nil {
@@ -54,6 +61,8 @@ func TestInternalPackageDocs(t *testing.T) {
 				t.Fatalf("package doc is a stub (%d lines); describe the package's role", len(strings.Split(strings.TrimSpace(doc), "\n")))
 			case !strings.Contains(doc, "DESIGN.md"):
 				t.Fatalf("package doc does not reference DESIGN.md; add a pointer to the relevant section")
+			case !designSection.MatchString(doc):
+				t.Fatalf("package doc references DESIGN.md without a section anchor; name the section (e.g. \"DESIGN.md §7\")")
 			}
 		})
 	}

@@ -297,6 +297,10 @@ func resultTicks(v any) uint64 {
 		if len(r.Results) > 0 {
 			return r.Results[0].Ticks
 		}
+	case PressureRow:
+		if len(r.Results) > 0 {
+			return r.Results[0].Ticks
+		}
 	case FleetResult:
 		return r.Ticks
 	}
@@ -319,6 +323,16 @@ func resultGauges(v any) string {
 	case ManyVMRow:
 		if len(r.Results) > 0 {
 			return g(r.Results[0].GuestFMFI, r.Results[0].HugeCoverage)
+		}
+	case PressureRow:
+		var swapped, balloon uint64
+		for _, res := range r.Results {
+			swapped += res.SwappedPages
+			balloon += res.BalloonPages
+		}
+		if len(r.Results) > 0 {
+			return g(r.Results[0].GuestFMFI, r.Results[0].HugeCoverage) +
+				fmt.Sprintf(" swapped=%d balloon=%d", swapped, balloon)
 		}
 	case FleetResult:
 		return g(r.MeanHostFMFI, r.HugeCoverage)
@@ -542,6 +556,72 @@ func ManyVMs(o Options, n int) []ManyVMRow {
 				Trace:              j.Trace,
 			}).Run()
 			return ManyVMRow{System: j.System.String(), Results: rs}
+		})
+}
+
+// PressureRatios are the overcommit ratios the pressure sweep runs:
+// 1.0 (tier armed, admission unchanged — the control), 1.25 (moderate
+// overcommit), and 1.5 (heavy).
+func PressureRatios() []float64 { return []float64{1.0, 1.25, 1.5} }
+
+// pressureSystems are the systems the pressure sweep compares: the
+// Linux baseline, the paper's system, and the fine-grained extension —
+// the three whose coalescing strategies react most differently to
+// demotion-on-swap eating huge coverage.
+func pressureSystems() []System { return []System{THP, Gemini, FHPM} }
+
+// pressureMix is the 3-VM consolidation mix of the pressure sweep:
+// two latency-sensitive stores and an in-memory index, all with large
+// footprints so the overcommit ratio controls real memory pressure.
+func pressureMix() []workload.Spec {
+	return []workload.Spec{workload.Redis(), workload.Masstree(), workload.Memcached()}
+}
+
+// PressureRow reports one (system × overcommit ratio) pressure cell:
+// per-VM results, in VM order, of a 3-VM host run with the elasticity
+// tier armed.
+type PressureRow struct {
+	System     string
+	Overcommit float64
+	Results    []Result
+}
+
+// Pressure runs the overcommit sweep (DESIGN.md §10): the 3-VM
+// pressure mix shares one host whose physical memory is the summed
+// guest memory divided by the overcommit ratio, with the swap/reclaim
+// tier and balloon drivers armed. Guests are sized snug to their
+// workload footprints (+1/8 slack), so the ratio directly controls how
+// much of the combined working set exceeds physical memory: at 1.0 the
+// tier only polices EPT bloat, while 1.25 and 1.5 force sustained
+// ballooning and swap — the regime where demotion-on-swap attacks the
+// huge-page coverage each system built (the THP-vs-GEMINI-vs-FHPM
+// comparison the paper never runs).
+func Pressure(o Options) []PressureRow {
+	mix := pressureMix()
+	return runGrid(o, PressureRatios(), pressureSystems(),
+		[]Setting{{Name: "overcommit"}},
+		func(r float64) string { return fmt.Sprintf("overcommit %.2fx", r) },
+		func(j gridJob[float64]) PressureRow {
+			vms := make([]sim.VMConfig, len(mix))
+			sumMB := 0
+			for i, spec := range mix {
+				spec = o.quickSpec(spec)
+				guestMB := spec.FootprintMB + spec.FootprintMB/8
+				vms[i] = sim.VMConfig{System: j.System, Workload: spec, GuestMemMB: guestMB}
+				sumMB += guestMB
+			}
+			hostMB := int(math.Ceil(float64(sumMB) / j.Unit))
+			rs := sim.NewEngine(sim.EngineConfig{
+				VMs:                vms,
+				HostMemMB:          hostMB,
+				Overcommit:         j.Unit,
+				Requests:           o.requests(),
+				Seed:               o.seed(),
+				Audit:              o.Audit,
+				DisableFastForward: o.DisableFastForward,
+				Trace:              j.Trace,
+			}).Run()
+			return PressureRow{System: j.System.String(), Overcommit: j.Unit, Results: rs}
 		})
 }
 

@@ -123,8 +123,26 @@ func ResultCell(setting string, vm int, res Result) BenchCell {
 			"background_cycles":      float64(res.BackgroundCycles),
 			"bucket_reuse_rate":      res.BucketReuseRate,
 			"huge_coverage":          res.HugeCoverage,
+			"swapped_pages":          float64(res.SwappedPages),
+			"swapped_out_pages":      float64(res.SwappedOutPages),
+			"swapped_in_pages":       float64(res.SwappedInPages),
+			"balloon_pages":          float64(res.BalloonPages),
 		},
 	}
+}
+
+// PressureCells flattens one pressure-sweep row into metric cells, one
+// per VM, with the overcommit ratio as the setting (e.g.
+// "overcommit-1.25"). The swap/balloon metrics ResultCell carries are
+// the interesting columns here; the latency and coverage columns show
+// what the pressure cost each system.
+func PressureCells(row PressureRow) []BenchCell {
+	setting := fmt.Sprintf("overcommit-%.2f", row.Overcommit)
+	cells := make([]BenchCell, 0, len(row.Results))
+	for i, res := range row.Results {
+		cells = append(cells, ResultCell(setting, i, res))
+	}
+	return cells
 }
 
 // MicroCell flattens a Figure 2 micro-benchmark point into a cell. The
@@ -167,6 +185,9 @@ func FleetCells(res FleetResult) []BenchCell {
 			"throughput":     res.Throughput,
 			"mean_host_fmfi": res.MeanHostFMFI,
 			"huge_coverage":  res.HugeCoverage,
+			"swapped_pages":  float64(res.SwappedPages),
+			"swapped_out":    float64(res.SwappedOutPages),
+			"balloon_pages":  float64(res.BalloonPages),
 		},
 	}}
 	for _, h := range res.PerHost {
@@ -184,6 +205,8 @@ func FleetCells(res FleetResult) []BenchCell {
 				"huge_coverage": h.HugeCoverage,
 				"pages_in":      float64(h.PagesIn),
 				"pages_out":     float64(h.PagesOut),
+				"swapped_pages": float64(h.SwappedPages),
+				"balloon_pages": float64(h.BalloonPages),
 			},
 		})
 	}

@@ -182,6 +182,8 @@ func TestResultCellCoversLegacyFields(t *testing.T) {
 		"guest_huge", "host_huge", "guest_fmfi",
 		"migrated_pages", "background_cycles", "bucket_reuse_rate",
 		"huge_coverage",
+		"swapped_pages", "swapped_out_pages", "swapped_in_pages",
+		"balloon_pages",
 	}
 	for _, k := range want {
 		if _, ok := c.Metrics[k]; !ok {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -52,6 +53,20 @@ type Config struct {
 	// Policy names the placement policy (PolicyNames; default
 	// "first-fit").
 	Policy string
+	// Overcommit arms the memory-elasticity tier fleet-wide
+	// (DESIGN.md §10). Zero — the default — disables it and behaves
+	// exactly as before. A value ≥ 1 multiplies every host's
+	// schedulable RAM capacity by the ratio (physical memory is
+	// unchanged), arms each host machine's swap/reclaim tier, and
+	// installs a balloon driver in every booted VM, so the scheduler
+	// may admit more guest RAM than physically exists and the hosts
+	// absorb the difference by ballooning and swapping. Values in
+	// (0, 1) are invalid.
+	Overcommit float64
+	// PressurePolicy names the registered machine.PressurePolicy the
+	// armed swap tiers use ("" selects the default). Requires
+	// Overcommit ≥ 1.
+	PressurePolicy string
 	// Stream parameterises the churn generator.
 	Stream StreamConfig
 	// RequestsPerVMTick is the foreground requests each resident VM
@@ -164,13 +179,37 @@ func (c Config) Validate() error {
 	if err := d.Stream.Validate(); err != nil {
 		return err
 	}
+	if d.Overcommit != 0 && d.Overcommit < 1 {
+		return fmt.Errorf("fleet: Overcommit %v must be 0 (disabled) or ≥ 1", d.Overcommit)
+	}
+	if d.PressurePolicy != "" {
+		if d.Overcommit == 0 {
+			return fmt.Errorf("fleet: PressurePolicy %q set but Overcommit is zero (elasticity disabled)",
+				d.PressurePolicy)
+		}
+		if !machine.ValidPressurePolicy(d.PressurePolicy) {
+			return fmt.Errorf("fleet: unknown pressure policy %q (have %v)",
+				d.PressurePolicy, machine.PressurePolicyNames())
+		}
+	}
 	for _, fl := range d.Stream.Flavors {
-		if fl.CPU > d.HostCPU || fl.RAMMB > d.HostMemMB {
-			return fmt.Errorf("fleet: flavor %q %+v can never fit a %d-CPU %d-MB host",
-				fl.Name, fl.Demand(), d.HostCPU, d.HostMemMB)
+		if fl.CPU > d.HostCPU || fl.RAMMB > d.schedulableRAMMB() {
+			return fmt.Errorf("fleet: flavor %q %+v can never fit a %d-CPU %d-MB host (overcommit %v)",
+				fl.Name, fl.Demand(), d.HostCPU, d.HostMemMB, d.Overcommit)
 		}
 	}
 	return nil
+}
+
+// schedulableRAMMB is the RAM capacity the scheduler sees per host:
+// physical memory inflated by the overcommit ratio when the elasticity
+// tier is armed. Host machines always get physical HostMemMB; the gap
+// is what ballooning and swap absorb.
+func (c Config) schedulableRAMMB() int {
+	if c.Overcommit >= 1 {
+		return int(float64(c.HostMemMB) * c.Overcommit)
+	}
+	return c.HostMemMB
 }
 
 // TickInfo is the per-tick population snapshot handed to
@@ -258,7 +297,7 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	caps := make([]Demand, cfg.Hosts)
 	for i := range caps {
-		caps[i] = Demand{CPU: cfg.HostCPU, RAMMB: cfg.HostMemMB}
+		caps[i] = Demand{CPU: cfg.HostCPU, RAMMB: cfg.schedulableRAMMB()}
 	}
 	f := &Fleet{
 		cfg:      cfg,
@@ -271,6 +310,9 @@ func New(cfg Config) (*Fleet, error) {
 	hostPages := uint64(cfg.HostMemMB) << 20 >> mem.PageShift
 	for i := 0; i < cfg.Hosts; i++ {
 		h := &host{id: i, m: machine.NewMachine(hostPages, machine.DefaultCosts())}
+		if cfg.Overcommit >= 1 {
+			h.m.EnableSwap(machine.SwapConfig{Policy: cfg.PressurePolicy})
+		}
 		if cfg.Trace != nil {
 			h.rec = cfg.Trace.Shard(i, fmt.Sprintf("host%d", i))
 			h.m.Rec = h.rec
@@ -405,6 +447,9 @@ func (f *Fleet) boot(id int, fl Flavor, h *host, gen int) *liveVM {
 	})
 	if coord != nil {
 		coord.Attach(mvm)
+	}
+	if f.cfg.Overcommit >= 1 {
+		mvm.Balloon = core.NewBalloon(mvm)
 	}
 	if h.rec != nil {
 		mvm.Guest.Trace = h.rec.Handle(id, "guest")
@@ -574,18 +619,29 @@ func (f *Fleet) stepHosts() {
 	}
 }
 
-// fragInfos snapshots every host's fragmentation signal for the
-// placement policy: host-buddy FMFI at the huge order and EPT
-// huge-page coverage over resident VMs.
+// fragInfos snapshots every host's placement signals: host-buddy FMFI
+// at the huge order, EPT huge-page coverage over resident VMs, and the
+// host's swapped-out page total (zero on non-overcommitted fleets).
 func (f *Fleet) fragInfos() []FragInfo {
 	out := make([]FragInfo, len(f.hosts))
 	for i, h := range f.hosts {
 		out[i] = FragInfo{
 			FMFI:         h.m.HostBuddy.FMFI(mem.HugeOrder),
 			HugeCoverage: f.hostCoverage(h),
+			SwappedPages: f.hostSwapped(h),
 		}
 	}
 	return out
+}
+
+// hostSwapped totals the pages a host's resident VMs currently have
+// swapped out.
+func (f *Fleet) hostSwapped(h *host) uint64 {
+	var n uint64
+	for _, id := range h.resident {
+		n += f.vms[id].mvm.EPT.SwappedPages()
+	}
+	return n
 }
 
 // hostCoverage is the host's EPT huge-page coverage: huge-mapped pages
@@ -659,6 +715,11 @@ type HostResult struct {
 	// PagesIn/PagesOut are the live-migration page flows through this
 	// host.
 	PagesIn, PagesOut uint64
+	// SwappedPages and BalloonPages are the host's final elasticity
+	// gauges (DESIGN.md §10): pages its resident VMs have on the swap
+	// device and pages donated through their balloons. Always zero on
+	// non-overcommitted fleets.
+	SwappedPages, BalloonPages uint64
 }
 
 // Result is one fleet run's outcome.
@@ -682,6 +743,12 @@ type Result struct {
 	// the final fleet-wide EPT huge-page coverage.
 	MeanHostFMFI float64
 	HugeCoverage float64
+	// SwappedPages and BalloonPages total the fleet's final elasticity
+	// gauges across resident VMs (zero on non-overcommitted fleets);
+	// SwappedOutPages is their cumulative swap-out traffic.
+	SwappedPages    uint64
+	SwappedOutPages uint64
+	BalloonPages    uint64
 	// PerHost holds the final per-host summaries in host order.
 	PerHost []HostResult
 	// Timeline and Events carry the merged flight-recorder data when
@@ -735,7 +802,14 @@ func (f *Fleet) result() Result {
 			vm := f.vms[id].mvm
 			mapped += vm.EPT.MappedPages()
 			huge += vm.EPT.Table.Mapped2M() * mem.PagesPerHuge
+			hr.SwappedPages += vm.EPT.SwappedPages()
+			r.SwappedOutPages += vm.EPT.Stats.SwappedOutPages
+			if b := f.vms[id].mvm.Balloon; b != nil {
+				hr.BalloonPages += b.Inflated()
+			}
 		}
+		r.SwappedPages += hr.SwappedPages
+		r.BalloonPages += hr.BalloonPages
 		r.PerHost = append(r.PerHost, hr)
 	}
 	if len(f.hosts) > 0 {
@@ -773,6 +847,12 @@ func (r Result) Format() string {
 	fmt.Fprintf(&b, "migrations=%d migrated_pages=%d\n", r.Migrations, r.MigratedPages)
 	fmt.Fprintf(&b, "requests=%d throughput=%.4f req/Mcycle\n", r.Requests, r.Throughput)
 	fmt.Fprintf(&b, "mean_host_fmfi=%.4f huge_coverage=%.4f\n", r.MeanHostFMFI, r.HugeCoverage)
+	// The elasticity line appears only when the tier ever acted, so
+	// reports (and goldens) from non-overcommitted runs are unchanged.
+	if r.SwappedPages > 0 || r.SwappedOutPages > 0 || r.BalloonPages > 0 {
+		fmt.Fprintf(&b, "swapped_pages=%d swapped_out=%d balloon_pages=%d\n",
+			r.SwappedPages, r.SwappedOutPages, r.BalloonPages)
+	}
 	fmt.Fprintf(&b, "%-6s %4s %9s %13s %11s %8s %8s %10s %10s\n",
 		"host", "vms", "cpu", "ram_mb", "free_pages", "fmfi", "cov", "pages_in", "pages_out")
 	for _, h := range r.PerHost {

@@ -61,6 +61,13 @@ func (f *Fleet) vmSample(v *liveVM) trace.Sample {
 	s.MigratedPages = vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages
 	s.CompactedRegions = vm.Guest.Stats.CompactedRegions + vm.EPT.Stats.CompactedRegions
 
+	s.SwappedPages = vm.EPT.SwappedPages()
+	s.SwapOuts = vm.EPT.Stats.SwappedOutPages
+	s.SwapIns = vm.EPT.Stats.SwappedInPages
+	if vm.Balloon != nil {
+		s.BalloonPages = vm.Balloon.Inflated()
+	}
+
 	if gp, ok := v.gp.(*core.GuestPolicy); ok {
 		s.Bookings = gp.BookingCount()
 		s.BookingTimeout = int(gp.TimeoutCtl().Timeout())

@@ -39,12 +39,17 @@ func (h HostLoad) Fits(d Demand) bool {
 	return h.Used.CPU+d.CPU <= h.Cap.CPU && h.Used.RAMMB+d.RAMMB <= h.Cap.RAMMB
 }
 
-// FragInfo is the fragmentation signal the frag-aware policy reads
-// before placing: the host allocator's FMFI at the huge order and the
-// EPT huge-page coverage across the host's resident VMs.
+// FragInfo is the per-host signal vector placement policies read
+// before placing: the host allocator's FMFI at the huge order, the EPT
+// huge-page coverage across the host's resident VMs, and — on fleets
+// with the elasticity tier armed (DESIGN.md §10) — the pages the host
+// currently has swapped out, the clearest sign it is struggling under
+// memory pressure. SwappedPages is always zero on non-overcommitted
+// fleets.
 type FragInfo struct {
 	FMFI         float64
 	HugeCoverage float64
+	SwappedPages uint64
 }
 
 // PlacementPolicy chooses a host for one demand vector. Choose returns
@@ -149,9 +154,44 @@ func (FragAware) Choose(d Demand, hosts []HostLoad, frag []FragInfo) int {
 	return best
 }
 
+// PressureAware is the elasticity-aware policy (DESIGN.md §10): among
+// feasible hosts it avoids hosts already paging (fewest swapped-out
+// pages first — placing onto a thrashing host makes every resident VM
+// pay swap-in latency), then falls back to the best-fit residual
+// score, then the index. On fleets without the elasticity tier every
+// SwappedPages signal is zero and the policy reduces to best-fit with
+// first-fit ties.
+type PressureAware struct{}
+
+// Name identifies the policy.
+func (PressureAware) Name() string { return "pressure-aware" }
+
+// Choose returns the feasible host minimising (SwappedPages, residual
+// score, index), treating a nil frag slice as all-zero signals.
+func (PressureAware) Choose(d Demand, hosts []HostLoad, frag []FragInfo) int {
+	best := -1
+	var bestSwapped uint64
+	var bestScore int64
+	for i, h := range hosts {
+		if !h.Fits(d) {
+			continue
+		}
+		var fi FragInfo
+		if i < len(frag) {
+			fi = frag[i]
+		}
+		s := residualScore(h, d)
+		if best < 0 || fi.SwappedPages < bestSwapped ||
+			(fi.SwappedPages == bestSwapped && s < bestScore) {
+			best, bestSwapped, bestScore = i, fi.SwappedPages, s
+		}
+	}
+	return best
+}
+
 // Policies lists every placement policy in canonical order.
 func Policies() []PlacementPolicy {
-	return []PlacementPolicy{FirstFit{}, BestFit{}, FragAware{}}
+	return []PlacementPolicy{FirstFit{}, BestFit{}, FragAware{}, PressureAware{}}
 }
 
 // PolicyNames lists the canonical policy names.

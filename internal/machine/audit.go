@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/audit"
 	"repro/internal/mem"
@@ -48,6 +49,36 @@ func (L *Layer) CheckInvariants() []audit.Violation {
 		vs = append(vs, audit.Violationf(L.Name, "stat-huge-mapped", 0,
 			"Stats.HugeMappedPages = %d but the table covers %d pages with huge mappings",
 			L.Stats.HugeMappedPages, want))
+	}
+	vs = append(vs, L.checkSwapInvariants()...)
+	return vs
+}
+
+// checkSwapInvariants recomputes the swap tier's contract (swap.go):
+// a page is swapped XOR resident — never both — and the cumulative
+// counters account for every page that ever left through the swap
+// device (out = in + dropped + still-swapped). Because every huge
+// mapping makes its whole region resident, the first check also proves
+// huge coverage excludes swapped pages.
+func (L *Layer) checkSwapInvariants() []audit.Violation {
+	var vs []audit.Violation
+	vpns := make([]uint64, 0, len(L.swapped))
+	for vpn := range L.swapped {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		va := vpn << mem.PageShift
+		if _, _, ok := L.Table.Lookup(va); ok {
+			vs = append(vs, audit.Violationf(L.Name, "swap-resident", va,
+				"page is marked swapped out but the table still maps it"))
+		}
+	}
+	if want := L.Stats.SwappedInPages + L.Stats.SwapDroppedPages + uint64(len(L.swapped)); L.Stats.SwappedOutPages != want {
+		vs = append(vs, audit.Violationf(L.Name, "swap-count", 0,
+			"Stats.SwappedOutPages = %d but in+dropped+pending = %d+%d+%d",
+			L.Stats.SwappedOutPages, L.Stats.SwappedInPages,
+			L.Stats.SwapDroppedPages, len(L.swapped)))
 	}
 	return vs
 }
@@ -98,6 +129,11 @@ func (vm *VM) CheckInvariants() []audit.Violation {
 		vs = append(vs, audit.Violationf("vm", "alignment-recompute", 0,
 			"Alignment() says %d/%d aligned/guest-huge, recomputation says %d/%d",
 			a.Aligned, a.GuestHuge, aligned, guestHuge))
+	}
+	// Balloon drivers audit their own accounting (held frames vs
+	// inflated count); include it when the installed driver offers it.
+	if b, ok := vm.Balloon.(interface{ CheckInvariants() []audit.Violation }); ok {
+		vs = append(vs, b.CheckInvariants()...)
 	}
 	return vs
 }

@@ -39,6 +39,21 @@ type CostModel struct {
 	// space (Teabe et al., PAPERS.md); the relocation copy is charged
 	// per page on top via CopyPage. Unused by radix-mode VMs.
 	SegmentResize uint64
+	// SwapOutPage is the per-page cost of writing an evicted page to
+	// the swap device (swap.go). Write-back is asynchronous, so it is
+	// charged as background work, far cheaper than the synchronous
+	// read on the way back.
+	SwapOutPage uint64
+	// SwapInPage is the per-page cost of a refault that must read the
+	// page back from the swap device — the dominant elasticity cost,
+	// charged to the faulting access. Sized at ~60× a base fault,
+	// matching the DRAM-to-far-memory latency gap the cloud-swapping
+	// literature reports (Flexible Swapping for the Cloud, PAPERS.md).
+	SwapInPage uint64
+	// BalloonPage is the per-page guest/host handshake cost of moving
+	// a page through the balloon (inflate or deflate) — cooperative
+	// reclaim is cheap, which is why the swap tier prefers it.
+	BalloonPage uint64
 }
 
 // DefaultCosts returns the cost model used across the reproduction.
@@ -53,5 +68,8 @@ func DefaultCosts() CostModel {
 		ScanRegion:      500,
 		CachePollution:  40,
 		SegmentResize:   20_000,
+		SwapOutPage:     5_000,
+		SwapInPage:      120_000,
+		BalloonPage:     500,
 	}
 }

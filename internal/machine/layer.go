@@ -89,6 +89,9 @@ type LayerStats struct {
 	HugeMappedPages     uint64 // pages currently covered by huge mappings
 	CompactedRegions    uint64 // order-9 blocks produced by kcompactd
 	ReclaimedPages      uint64 // bloat pages freed under memory pressure
+	SwappedOutPages     uint64 // pages paged out by the swap tier (swap.go)
+	SwappedInPages      uint64 // swapped pages faulted back in
+	SwapDroppedPages    uint64 // swapped pages discarded when their VMA died
 }
 
 // Layer is one translation layer: the guest process page table over
@@ -117,6 +120,13 @@ type Layer struct {
 	// every emission site is guarded by a nil check so the disabled
 	// path constructs no event values (zero-cost-when-disabled).
 	Trace *trace.Handle
+	// AllocFallback, when non-nil, is invoked when a demand fault finds
+	// the allocator empty; returning true means need pages were
+	// recovered and the allocation should be retried. The machine's
+	// swap tier installs its direct-reclaim path here on EPT layers
+	// (swap.go); it stays nil otherwise, so layers without a swap tier
+	// keep the fail-fast OOM panic.
+	AllocFallback func(need uint64) bool
 
 	// Stats accumulates event counts.
 	Stats LayerStats
@@ -130,7 +140,12 @@ type Layer struct {
 	// a bump pointer, so the slice stays compact.
 	heat    []uint64
 	deduped map[uint64]bool // vpn -> was deduplicated (refault pays CoW)
-	stall   uint64          // pending foreground stall cycles
+	// swapped marks pages currently paged out to the swap device
+	// (vpn -> true). Nil until the swap tier first evicts from this
+	// layer, and probed behind len guards on the fault path, so the
+	// pressure-off cost is zero (same discipline as deduped).
+	swapped map[uint64]bool
+	stall   uint64 // pending foreground stall cycles
 	// compactCursor round-robins kcompactd's scan over frame regions.
 	compactCursor uint64
 }
@@ -289,6 +304,10 @@ func (L *Layer) EnsureMapped(va uint64) (uint64, bool) {
 				L.Stats.Faults++
 				L.Stats.HugeFaults++
 				L.Stats.HugeMappedPages += mem.PagesPerHuge
+				// A huge mapping makes every page of the region resident,
+				// so any swapped-out pages inside it come back first; the
+				// faulting access pays the readahead swap-in.
+				cycles += L.swapInRegion(hugeBase)
 				return cycles + L.Costs.FaultBase + L.Costs.FaultHugeZero, true
 			}
 			// Region already partially mapped: return the block and
@@ -307,6 +326,10 @@ func (L *Layer) EnsureMapped(va uint64) (uint64, bool) {
 	frame := d.Frame
 	if !(d.Allocated && d.Kind == mem.Base) {
 		f, err := L.Buddy.Alloc(0)
+		if err != nil && L.AllocFallback != nil && L.AllocFallback(1) {
+			// Direct reclaim recovered memory; retry once.
+			f, err = L.Buddy.Alloc(0)
+		}
 		if err != nil {
 			panic(fmt.Sprintf("machine: %s layer out of memory (%d pages total)",
 				L.Name, L.Buddy.TotalPages()))
@@ -325,6 +348,16 @@ func (L *Layer) EnsureMapped(va uint64) (uint64, bool) {
 		delete(L.deduped, vpn)
 		L.Stats.CoWRefaults++
 		cycles += L.Costs.CoWFault
+	}
+	// Same len-guard discipline for the swap tier: a refault of a
+	// swapped page pays the swap device's read latency.
+	if len(L.swapped) != 0 && L.swapped[vpn] {
+		delete(L.swapped, vpn)
+		L.Stats.SwappedInPages++
+		cycles += L.Costs.SwapInPage
+		if L.Trace != nil {
+			L.Trace.Event(trace.EvSwapIn, va&^uint64(mem.PageSize-1), frame, 0, 1, "refault")
+		}
 	}
 	return cycles, true
 }
@@ -404,6 +437,10 @@ func (L *Layer) PromoteMigrate(va uint64, targetFrame *uint64) error {
 	if err := L.Table.Map2M(hugeBase, block); err != nil {
 		panic(fmt.Sprintf("machine: Map2M during promotion: %v", err))
 	}
+	// The collapse makes the whole region resident; swapped pages
+	// inside it are read back on the daemon's budget (khugepaged does
+	// the same swap-in before collapsing).
+	L.Stats.BackgroundCycles += L.swapInRegion(hugeBase)
 	for _, o := range olds {
 		L.Buddy.Free(o.frame, 0)
 	}
@@ -447,7 +484,7 @@ func (L *Layer) MapHugeEager(va uint64) error {
 		L.Trace.Event(trace.EvPromote, hugeBase, block, mem.HugeOrder, 0, "eager")
 	}
 	L.Stats.HugeMappedPages += mem.PagesPerHuge
-	L.Stats.BackgroundCycles += L.Costs.FaultHugeZero
+	L.Stats.BackgroundCycles += L.Costs.FaultHugeZero + L.swapInRegion(hugeBase)
 	return nil
 }
 
@@ -528,6 +565,17 @@ func (L *Layer) UnmapVMA(v *VMA) {
 		if L.FlushRegion != nil && m.va>>mem.HugeShift != lastFlushed {
 			L.FlushRegion(m.va)
 			lastFlushed = m.va >> mem.HugeShift
+		}
+	}
+	// Swapped-out pages inside the VMA die with it: their owner is
+	// gone, so they can never fault back in. Discarding them keeps the
+	// swapped set's accounting exact (audit.go, "swap-count").
+	if len(L.swapped) != 0 {
+		for vpn := range L.swapped {
+			if va := vpn << mem.PageShift; va >= v.Start && va < v.End() {
+				delete(L.swapped, vpn)
+				L.Stats.SwapDroppedPages++
+			}
 		}
 	}
 	L.Space.Remove(v)

@@ -1,0 +1,103 @@
+package machine_test
+
+// Fuzz oracle for the swap tier (DESIGN.md §10), in the style of
+// FuzzWalkCacheInvalidation: a cached VM and an uncached reference twin
+// are driven through arbitrary interleavings of accesses, swap-outs,
+// backing discards, and background ticks. The uncached twin re-walks
+// both tables on every access, so any stale walk-cache entry surviving
+// a swap-out's unmap (a missed epoch bump) shows up as a cycle or stat
+// divergence. Two swap-specific properties are asserted inline: a
+// swap-out that evicted pages leaves the region demoted
+// (demotion-on-swap costs coverage, always), and a refault makes the
+// page resident again exactly once (swapped ⊕ resident, audited).
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/tlb"
+)
+
+// swapTwin builds one VM on its own machine with THP at both layers and
+// an 8 MiB VMA, host sized so swap ops — not genuine OOM — are the only
+// source of eviction.
+func swapTwin() (*machine.Machine, *machine.VM) {
+	const guestPages = (64 << 20) >> mem.PageShift
+	m := machine.NewMachine(guestPages*2, machine.DefaultCosts())
+	vm := m.AddVM(guestPages,
+		policy.NewTHP(policy.DefaultTHPParams()),
+		policy.NewTHP(policy.DefaultTHPParams()),
+		tlb.DefaultConfig())
+	vm.Guest.Space.MMap(8<<20, 0)
+	return m, vm
+}
+
+const swapFuzzSpan = (8 << 20) >> mem.PageShift    // pages in the VMA
+const swapFuzzRegions = (8 << 20) >> mem.HugeShift // EPT regions it can occupy
+
+func FuzzSwapCoverageOracle(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 0, 10})             // access, swap-out, refault
+	f.Add([]byte{0, 0, 1, 0, 1, 1, 0, 0, 0, 200}) // drain two regions, refault both
+	f.Add([]byte{0, 5, 2, 0, 0, 5, 3, 0, 0, 6})   // access, discard, refault, tick
+	f.Add([]byte{0, 1, 1, 0, 3, 0, 0, 1, 2, 1})   // swap-out, tick, refault, discard
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		mc, cached := swapTwin()
+		mr, ref := swapTwin()
+		ref.SetWalkCacheEnabled(false)
+		base := cached.Guest.Space.VMAs()[0].Start
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, uint64(ops[i+1])
+			switch op {
+			case 0: // access: identical charge on both twins, and a
+				// swapped page must come back resident (refault path)
+				va := base + (arg*977)%swapFuzzSpan*mem.PageSize
+				c1 := cached.Access(va)
+				c2 := ref.Access(va)
+				if c1 != c2 {
+					t.Fatalf("op %d: access %#x cost %d cycles cached, %d uncached", i, va, c1, c2)
+				}
+			case 1: // swap out one EPT region on both twins
+				// The EPT address of guest frame f is f<<PageShift; the
+				// guest frames backing the VMA are allocator-order
+				// dependent, so pick victims by scanning what exists.
+				idx := arg % (2 * swapFuzzRegions)
+				n1 := cached.EPT.SwapOutRegion(idx, int(mem.PagesPerHuge))
+				n2 := ref.EPT.SwapOutRegion(idx, int(mem.PagesPerHuge))
+				if n1 != n2 {
+					t.Fatalf("op %d: swap-out of region %d evicted %d vs %d pages", i, idx, n1, n2)
+				}
+				if n1 > 0 {
+					// Demotion-on-swap: an evicting swap-out never leaves
+					// the region huge.
+					if _, isHuge, _ := cached.EPT.Table.LookupHugeRegion(idx << mem.HugeShift); isHuge {
+						t.Fatalf("op %d: region %d still huge after evicting %d pages", i, idx, n1)
+					}
+				}
+			case 2: // discard a region's backing outright (balloon path)
+				idx := arg % (2 * swapFuzzRegions)
+				d1 := cached.EPT.DiscardBacking(idx<<mem.HugeShift, (idx+1)<<mem.HugeShift)
+				d2 := ref.EPT.DiscardBacking(idx<<mem.HugeShift, (idx+1)<<mem.HugeShift)
+				if d1 != d2 {
+					t.Fatalf("op %d: discard of region %d freed %d vs %d pages", i, idx, d1, d2)
+				}
+			case 3: // background quantum
+				mc.Tick()
+				mr.Tick()
+			}
+		}
+		if s1, s2 := cached.TLB.Stats(), ref.TLB.Stats(); s1 != s2 {
+			t.Fatalf("TLB stats diverged:\ncached %+v\nuncached %+v", s1, s2)
+		}
+		if p1, p2 := cached.EPT.SwappedPages(), ref.EPT.SwappedPages(); p1 != p2 {
+			t.Fatalf("swapped-set size diverged: %d vs %d", p1, p2)
+		}
+		if m1, m2 := cached.EPT.Table.Mapped2M(), ref.EPT.Table.Mapped2M(); m1 != m2 {
+			t.Fatalf("EPT huge coverage diverged: %d vs %d regions", m1, m2)
+		}
+		if vs := mc.CheckInvariants(); len(vs) != 0 {
+			t.Fatalf("cached machine corrupt after op sequence: %v", vs)
+		}
+	})
+}

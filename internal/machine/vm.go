@@ -22,6 +22,10 @@ type VM struct {
 	EPT *Layer
 	// TLB is the translation cache the VM's accesses exercise.
 	TLB *tlb.TLB
+	// Balloon, when non-nil, is the guest's balloon driver; the swap
+	// tier asks it to surrender guest memory before resorting to
+	// swap-out (swap.go). Nil unless a pressure run installs one.
+	Balloon BalloonDriver
 
 	guestPages uint64
 	costs      CostModel
@@ -63,6 +67,10 @@ type Machine struct {
 	// reused after RemoveVM — audits and traces that key state by
 	// vm.ID cannot conflate a departed VM with a later arrival.
 	nextID int
+	// swap is the armed pressure machinery; nil until EnableSwap
+	// (swap.go), and every hook it adds to the tick and fault paths is
+	// nil-or-len-guarded so the disabled cost is zero.
+	swap *swapTier
 }
 
 // NewMachine creates a host with the given amount of physical memory.
@@ -123,6 +131,9 @@ func (m *Machine) AddVM(guestPages uint64, guestPolicy, hostPolicy Policy, tcfg 
 	vm.wcInit()
 	m.nextID++
 	m.VMs = append(m.VMs, vm)
+	if m.swap != nil {
+		m.armDirectReclaim(vm)
+	}
 	return vm
 }
 
@@ -415,7 +426,9 @@ const CompactionLowWatermark = 8
 // Tick runs one background quantum: kcompactd keeps a minimal reserve
 // of order-9 blocks at each layer (as Linux does for every system
 // under test), then both layers' coalescing daemons run and access
-// heat decays.
+// heat decays. When the swap tier is armed (EnableSwap), its kswapd
+// quantum runs last, after every VM's daemons have had their turn at
+// the allocators.
 func (m *Machine) Tick() {
 	m.Ticks++
 	if m.Rec != nil {
@@ -431,6 +444,7 @@ func (m *Machine) Tick() {
 		vm.Guest.DecayHeat()
 		vm.EPT.DecayHeat()
 	}
+	m.swapTick()
 }
 
 // reclaimTick runs the layer's memory-pressure reclaim quantum: when
@@ -480,6 +494,9 @@ type TickDeadliner interface {
 // deadline. The query is read-only.
 func (m *Machine) IdleHorizon(limit int) int {
 	h := limit
+	if !m.swapIdle() {
+		return 0
+	}
 	for _, vm := range m.VMs {
 		for _, L := range [2]*Layer{vm.Guest, vm.EPT} {
 			if h <= 0 {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/frag"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -104,6 +105,20 @@ type EngineConfig struct {
 	AuditEvery int
 	// Seed drives all randomness through the seeding contract above.
 	Seed int64
+	// Overcommit arms the memory-elasticity tier (DESIGN.md §10).
+	// Zero — the default — disables it: the summed guest memory must
+	// fit in host memory and no swap or balloon machinery exists, so
+	// every pre-elasticity configuration behaves bit-identically. A
+	// value ≥ 1 relaxes admission to sum ≤ HostMemMB × Overcommit,
+	// arms the host swap/reclaim tier (machine.EnableSwap), and
+	// installs a balloon driver in every VM. 1.0 is a meaningful
+	// setting: admission is unchanged but the tier is armed, guarding
+	// a tight host against EPT bloat. Values in (0, 1) are invalid.
+	Overcommit float64
+	// PressurePolicy names the registered machine.PressurePolicy the
+	// armed swap tier uses to pick swap-out victims ("" selects
+	// machine.DefaultPressurePolicy). Requires Overcommit ≥ 1.
+	PressurePolicy string
 	// DisableFastForward forces dense ticking through the settle
 	// windows instead of jumping the tick clock over provably idle
 	// spans (DESIGN.md §7.4). Off (the zero value) means fast-forward
@@ -184,6 +199,19 @@ func (ec EngineConfig) Validate() error {
 	if ec.FragTarget < 0 || ec.FragTarget >= 1 {
 		return fmt.Errorf("sim: FragTarget %v outside [0,1)", ec.FragTarget)
 	}
+	if ec.Overcommit != 0 && ec.Overcommit < 1 {
+		return fmt.Errorf("sim: Overcommit %v must be 0 (disabled) or ≥ 1", ec.Overcommit)
+	}
+	if ec.PressurePolicy != "" {
+		if ec.Overcommit == 0 {
+			return fmt.Errorf("sim: PressurePolicy %q set but Overcommit is zero (elasticity disabled)",
+				ec.PressurePolicy)
+		}
+		if !machine.ValidPressurePolicy(ec.PressurePolicy) {
+			return fmt.Errorf("sim: unknown pressure policy %q (have %v)",
+				ec.PressurePolicy, machine.PressurePolicyNames())
+		}
+	}
 	for i, vc := range ec.VMs {
 		if !sysreg.Valid(vc.System) {
 			return fmt.Errorf("sim: VM %d System %d out of range [0,%d)",
@@ -206,7 +234,15 @@ func (ec EngineConfig) Validate() error {
 	for _, vc := range d.VMs {
 		sum += vc.GuestMemMB
 	}
-	if sum > d.HostMemMB {
+	limitMB := float64(d.HostMemMB)
+	if d.Overcommit >= 1 {
+		limitMB *= d.Overcommit
+	}
+	if float64(sum) > limitMB {
+		if d.Overcommit >= 1 {
+			return fmt.Errorf("sim: summed guest memory %d MB exceeds host memory %d MB × overcommit %v",
+				sum, d.HostMemMB, d.Overcommit)
+		}
 		return fmt.Errorf("sim: summed guest memory %d MB exceeds host memory %d MB",
 			sum, d.HostMemMB)
 	}
@@ -277,6 +313,15 @@ func NewEngine(cfg EngineConfig) *Engine {
 			coord.Attach(vm)
 		}
 		e.vms = append(e.vms, &engineVM{cfg: vc, vm: vm, gp: gp, coord: coord})
+	}
+	if cfg.Overcommit >= 1 {
+		// Elasticity armed (DESIGN.md §10): the host responds to memory
+		// pressure by inflating balloons and swapping out cold regions
+		// instead of panicking on allocation failure.
+		e.m.EnableSwap(machine.SwapConfig{Policy: cfg.PressurePolicy})
+		for _, ev := range e.vms {
+			ev.vm.Balloon = core.NewBalloon(ev.vm)
+		}
 	}
 	e.rec = &recovery{every: cfg.RecoverEveryTicks, disableFF: cfg.DisableFastForward}
 	if cfg.Trace != nil {
@@ -559,6 +604,12 @@ func (e *Engine) results() []Result {
 		}
 		if mapped := vm.Guest.MappedPages(); mapped > 0 {
 			res.HugeCoverage = float64(vm.Guest.Table.Mapped2M()*mem.PagesPerHuge) / float64(mapped)
+		}
+		res.SwappedPages = vm.EPT.SwappedPages()
+		res.SwappedOutPages = vm.EPT.Stats.SwappedOutPages
+		res.SwappedInPages = vm.EPT.Stats.SwappedInPages
+		if vm.Balloon != nil {
+			res.BalloonPages = vm.Balloon.Inflated()
 		}
 		if ev.cfg.Workload.LatencySensitive {
 			res.MeanLatency = ev.lat.Mean()

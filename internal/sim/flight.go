@@ -72,6 +72,13 @@ func (e *Engine) vmSample(i int, ev *engineVM) trace.Sample {
 	s.MigratedPages = vm.Guest.Stats.MigratedPages + vm.EPT.Stats.MigratedPages
 	s.CompactedRegions = vm.Guest.Stats.CompactedRegions + vm.EPT.Stats.CompactedRegions
 
+	s.SwappedPages = vm.EPT.SwappedPages()
+	s.SwapOuts = vm.EPT.Stats.SwappedOutPages
+	s.SwapIns = vm.EPT.Stats.SwappedInPages
+	if vm.Balloon != nil {
+		s.BalloonPages = vm.Balloon.Inflated()
+	}
+
 	if gp, ok := ev.gp.(*core.GuestPolicy); ok {
 		s.Bookings = gp.BookingCount()
 		s.BookingTimeout = int(gp.TimeoutCtl().Timeout())

@@ -124,6 +124,14 @@ type Config struct {
 	AuditEvery int
 	// Seed drives all randomness.
 	Seed int64
+	// Overcommit arms the memory-elasticity tier (DESIGN.md §10), as
+	// in EngineConfig.Overcommit: 0 disables it (guest memory must fit
+	// in host memory), ≥ 1 relaxes admission to guest ≤ host ×
+	// Overcommit and arms the swap tier and balloon driver.
+	Overcommit float64
+	// PressurePolicy names the armed swap tier's victim selector (""
+	// selects the default); requires Overcommit ≥ 1.
+	PressurePolicy string
 	// DisableFastForward forces dense daemon ticking in the settle
 	// windows instead of event-driven fast-forward. Results are
 	// bit-identical either way (fast-forward only jumps over ticks
@@ -188,10 +196,24 @@ func (c Config) Validate() error {
 	if c.FragTarget < 0 || c.FragTarget >= 1 {
 		return fmt.Errorf("sim: FragTarget %v outside [0,1)", c.FragTarget)
 	}
+	if c.Overcommit != 0 && c.Overcommit < 1 {
+		return fmt.Errorf("sim: Overcommit %v must be 0 (disabled) or ≥ 1", c.Overcommit)
+	}
+	if c.PressurePolicy != "" && c.Overcommit == 0 {
+		return fmt.Errorf("sim: PressurePolicy %q set but Overcommit is zero (elasticity disabled)",
+			c.PressurePolicy)
+	}
+	if c.PressurePolicy != "" && !machine.ValidPressurePolicy(c.PressurePolicy) {
+		return fmt.Errorf("sim: unknown pressure policy %q", c.PressurePolicy)
+	}
 	d := c.withDefaults()
-	if d.GuestMemMB > d.HostMemMB {
-		return fmt.Errorf("sim: guest memory %d MB exceeds host memory %d MB",
-			d.GuestMemMB, d.HostMemMB)
+	limitMB := float64(d.HostMemMB)
+	if d.Overcommit >= 1 {
+		limitMB *= d.Overcommit
+	}
+	if float64(d.GuestMemMB) > limitMB {
+		return fmt.Errorf("sim: guest memory %d MB exceeds host memory %d MB (overcommit %v)",
+			d.GuestMemMB, d.HostMemMB, d.Overcommit)
 	}
 	if c.Workload.Name == "" {
 		return fmt.Errorf("sim: workload has no name")
@@ -238,6 +260,16 @@ type Result struct {
 	// HugeCoverage is the fraction of the VM's mapped guest pages
 	// backed by huge mappings at the end of the run.
 	HugeCoverage float64
+
+	// Elasticity gauges (DESIGN.md §10); all zero unless
+	// EngineConfig.Overcommit armed the swap tier. SwappedPages and
+	// BalloonPages are end-of-run gauges (pages currently on the swap
+	// device / currently donated through the balloon); SwappedOutPages
+	// and SwappedInPages are cumulative EPT swap traffic.
+	SwappedPages    uint64
+	SwappedOutPages uint64
+	SwappedInPages  uint64
+	BalloonPages    uint64
 	// Ticks is the number of machine ticks the run executed; telemetry
 	// uses it for ticks-per-second run-stats.
 	Ticks uint64
@@ -294,6 +326,8 @@ func (c Config) engineConfig() EngineConfig {
 		Audit:              c.Audit,
 		AuditEvery:         c.AuditEvery,
 		Seed:               c.Seed,
+		Overcommit:         c.Overcommit,
+		PressurePolicy:     c.PressurePolicy,
 		DisableFastForward: c.DisableFastForward,
 		Trace:              c.Trace,
 	}

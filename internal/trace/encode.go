@@ -59,6 +59,7 @@ func seriesHeader() []string {
 		"bookings", "booking_timeout", "bookings_expired",
 		"bucket_len", "bucket_reused", "bucket_taken",
 		"migrated_pages", "compacted_regions", "promoter_scans",
+		"swapped_pages", "swap_outs", "swap_ins", "balloon_pages",
 	)
 }
 
@@ -86,6 +87,7 @@ func appendSampleRow(row []string, s *Sample) []string {
 		fi(s.Bookings), fi(s.BookingTimeout), fu(s.BookingsExpired),
 		fi(s.BucketLen), fu(s.BucketReused), fu(s.BucketTaken),
 		fu(s.MigratedPages), fu(s.CompactedRegions), fu(s.PromoterScans),
+		fu(s.SwappedPages), fu(s.SwapOuts), fu(s.SwapIns), fu(s.BalloonPages),
 	)
 }
 
@@ -225,6 +227,21 @@ func ReadSeriesCSV(r io.Reader) ([]Sample, error) {
 		s.MigratedPages = u("migrated_pages")
 		s.CompactedRegions = u("compacted_regions")
 		s.PromoterScans = u("promoter_scans")
+		// The elasticity columns are optional so series files recorded
+		// before the swap tier existed still decode (all stay 0).
+		opt := func(name string, dst *uint64) {
+			if i, ok := col[name]; ok && i < len(rec) {
+				v, err := strconv.ParseUint(rec[i], 10, 64)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				*dst = v
+			}
+		}
+		opt("swapped_pages", &s.SwappedPages)
+		opt("swap_outs", &s.SwapOuts)
+		opt("swap_ins", &s.SwapIns)
+		opt("balloon_pages", &s.BalloonPages)
 		if firstErr != nil {
 			return nil, firstErr
 		}

@@ -50,6 +50,15 @@ type Sample struct {
 	MigratedPages    uint64 `json:"migrated_pages"`
 	CompactedRegions uint64 `json:"compacted_regions"`
 	PromoterScans    uint64 `json:"promoter_scans"`
+
+	// Memory elasticity (DESIGN.md §10). SwappedPages and BalloonPages
+	// are gauges (currently swapped out / currently ballooned);
+	// SwapOuts and SwapIns are cumulative page counts. All zero unless
+	// a pressure run armed the swap tier.
+	SwappedPages uint64 `json:"swapped_pages"`
+	SwapOuts     uint64 `json:"swap_outs"`
+	SwapIns      uint64 `json:"swap_ins"`
+	BalloonPages uint64 `json:"balloon_pages"`
 }
 
 // SampleTick reports whether gauges should be captured at tick, and

@@ -69,6 +69,13 @@ const (
 	EvVMArrive
 	EvVMDepart
 	EvVMReject
+	// Elasticity events (appended, same reason): the swap tier paging
+	// host frames out and faulting them back in, and the balloon
+	// driver reclaiming / returning guest memory. See DESIGN.md §10.
+	EvSwapOut
+	EvSwapIn
+	EvBalloonInflate
+	EvBalloonDeflate
 	numEventTypes
 )
 
@@ -86,6 +93,10 @@ var eventTypeNames = [numEventTypes]string{
 	EvVMArrive:       "VMArrive",
 	EvVMDepart:       "VMDepart",
 	EvVMReject:       "VMReject",
+	EvSwapOut:        "SwapOut",
+	EvSwapIn:         "SwapIn",
+	EvBalloonInflate: "BalloonInflate",
+	EvBalloonDeflate: "BalloonDeflate",
 }
 
 // String returns the canonical event-type name used in JSONL output.
